@@ -1,0 +1,81 @@
+// Command advisor demonstrates the §IV-F tier performance predictor: it
+// trains a linear model on all-but-one workload (profiling runs on Tier 0
+// plus observed times on every tier) and evaluates leave-one-out
+// prediction error on the held-out workload.
+//
+// With -compare, it additionally runs a leave-one-workload-out comparison
+// of the linear model against a k-NN regressor over the same features —
+// the "analytical models and/or ML techniques" the paper suggests.
+//
+// Usage:
+//
+//	advisor [-holdout pagerank] [-seed 1] [-compare]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hibench"
+	"repro/internal/memsim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	holdout := flag.String("holdout", "pagerank", "workload to hold out of training")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	compare := flag.Bool("compare", false, "also compare OLS vs k-NN with leave-one-out")
+	flag.Parse()
+
+	if _, err := workloads.ByName(*holdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var training []string
+	for _, n := range workloads.Names() {
+		if n != *holdout {
+			training = append(training, n)
+		}
+	}
+
+	var advisor core.TierAdvisor
+	advisor.Train(training, *seed)
+	fmt.Printf("trained on %v (R2 = %.3f)\n", training, advisor.R2())
+
+	mape := advisor.Evaluate(*holdout, *seed)
+	fmt.Printf("held-out %s: mean absolute prediction error %.1f%%\n\n", *holdout, mape*100)
+
+	t := core.Table{
+		Title:   fmt.Sprintf("predicted vs observed execution time [s] for %s", *holdout),
+		Headers: []string{"size", "tier", "predicted", "observed", "error %"},
+	}
+	for _, size := range workloads.AllSizes() {
+		profile := hibench.MustRun(hibench.RunSpec{
+			Workload: *holdout, Size: size, Tier: memsim.Tier0, Seed: *seed,
+		})
+		for _, tier := range memsim.AllTiers() {
+			obs := hibench.MustRun(hibench.RunSpec{
+				Workload: *holdout, Size: size, Tier: tier, Seed: *seed,
+			}).Duration.Seconds()
+			pred := advisor.Predict(profile, tier)
+			t.AddRow(size.String(), tier.String(),
+				fmt.Sprintf("%.4f", pred), fmt.Sprintf("%.4f", obs),
+				fmt.Sprintf("%+.1f", (pred-obs)/obs*100))
+		}
+	}
+	t.Render(os.Stdout)
+
+	profile := hibench.MustRun(hibench.RunSpec{
+		Workload: *holdout, Size: workloads.Large, Tier: memsim.Tier0, Seed: *seed,
+	})
+	best, predicted := advisor.Recommend(profile, nil)
+	fmt.Printf("\nrecommended tier for %s/large: %s (predicted %.4fs)\n", *holdout, best, predicted)
+
+	if *compare {
+		fmt.Println()
+		scores := core.ComparePredictors(nil, *seed)
+		core.PredictorTable(scores, nil).Render(os.Stdout)
+	}
+}

@@ -1,0 +1,121 @@
+// Command characterize reproduces Figure 2: execution time across memory
+// tiers (top), Optane DCPM media accesses (middle) and DIMM energy
+// (bottom) for the HiBench workloads at all dataset sizes.
+//
+// Usage:
+//
+//	characterize [-workloads sort,lda] [-fig time|accesses|energy|all] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/memsim"
+	"repro/internal/telemetry"
+	"repro/internal/workloads"
+)
+
+func main() {
+	workloadsFlag := flag.String("workloads", "", "comma-separated workload names (default: all)")
+	fig := flag.String("fig", "all", "which panel to print: time, accesses, energy, all")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	ipmctl := flag.Bool("ipmctl", false, "print the per-DIMM media counter view of the Tier 2 runs")
+	csvDir := flag.String("csv", "", "also write time/accesses/energy tables as CSV into this directory")
+	flag.Parse()
+
+	var names []string
+	if *workloadsFlag != "" {
+		for _, n := range strings.Split(*workloadsFlag, ",") {
+			if _, err := workloads.ByName(n); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			names = append(names, n)
+		}
+	}
+
+	c := core.RunCharacterization(names, nil, nil, *seed)
+	switch *fig {
+	case "time":
+		render(c.TimeTable())
+	case "accesses":
+		render(c.AccessTable())
+	case "energy":
+		render(c.EnergyTable())
+	case "ipmctl":
+		renderIpmctl(c)
+		return
+	case "all":
+		render(c.TimeTable())
+		fmt.Println()
+		render(c.AccessTable())
+		fmt.Println()
+		render(c.EnergyTable())
+		fmt.Println()
+		fmt.Printf("geomean slowdown vs Tier 0: T1 %.2fx, T2 %.2fx, T3 %.2fx\n",
+			c.MeanSlowdown(1), c.MeanSlowdown(2), c.MeanSlowdown(3))
+		fmt.Printf("geomean DCPM-bound vs DRAM-bound execution time: %.2fx\n", c.DCPMvsDRAMSlowdown())
+		fmt.Printf("geomean per-DIMM energy, DCPM vs DRAM: %.2fx\n", c.MeanEnergyRatio())
+		if *ipmctl {
+			fmt.Println()
+			renderIpmctl(c)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
+		os.Exit(2)
+	}
+
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir, c); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote time.csv, accesses.csv, energy.csv to %s\n", *csvDir)
+	}
+}
+
+// writeCSVs dumps the three Figure 2 panels as CSV files.
+func writeCSVs(dir string, c *core.Characterization) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, tbl := range map[string]core.Table{
+		"time.csv":     c.TimeTable(),
+		"accesses.csv": c.AccessTable(),
+		"energy.csv":   c.EnergyTable(),
+	} {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := tbl.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func render(t core.Table) { t.Render(os.Stdout) }
+
+// renderIpmctl prints the ipmctl-style per-DIMM counters of every
+// workload's large Tier 2 run.
+func renderIpmctl(c *core.Characterization) {
+	spec := memsim.DefaultSpecs()[memsim.Tier2]
+	for _, w := range c.Workloads {
+		res, ok := c.Results[core.CellKey{Workload: w, Size: workloads.Large, Tier: memsim.Tier2}]
+		if !ok {
+			continue
+		}
+		dimms := telemetry.IpmctlView(spec, res.NVMCounters)
+		telemetry.WriteIpmctl(os.Stdout, fmt.Sprintf("%s/large on %s", w, spec.Name), dimms)
+	}
+}

@@ -1,0 +1,59 @@
+// Command correlate reproduces Figures 5 and 6: Pearson correlation of
+// system-level metrics with execution time on local memory (Figure 5) and
+// of execution time with the tiers' latency/bandwidth specs (Figure 6).
+//
+// Usage:
+//
+//	correlate [-fig 5|6|both] [-workloads sort,lda]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	fig := flag.String("fig", "both", "which figure: 5, 6, both")
+	workloadsFlag := flag.String("workloads", "", "comma-separated workload names (default: all)")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	names := workloads.Names()
+	if *workloadsFlag != "" {
+		names = strings.Split(*workloadsFlag, ",")
+		for _, n := range names {
+			if _, err := workloads.ByName(n); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	if *fig == "5" || *fig == "both" {
+		var cols []core.MetricCorrelation
+		for _, w := range names {
+			cols = append(cols, core.RunMetricCorrelation(w, []int64{*seed, *seed + 1, *seed + 2}))
+		}
+		core.Fig5Table(cols).Render(os.Stdout)
+		fmt.Println()
+		fmt.Println("mean |r| per workload (predictability from system events):")
+		for _, c := range cols {
+			fmt.Printf("  %-12s %.2f\n", c.Workload, c.MeanAbsCorrelation())
+		}
+		fmt.Println()
+	}
+	if *fig == "6" || *fig == "both" {
+		var cells []core.SpecCorrelation
+		for _, w := range names {
+			for _, size := range workloads.AllSizes() {
+				cells = append(cells, core.RunSpecCorrelation(w, size, *seed))
+			}
+		}
+		core.Fig6Table(cells).Render(os.Stdout)
+	}
+}

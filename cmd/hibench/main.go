@@ -1,0 +1,98 @@
+// Command hibench runs a single experiment cell — one workload at one
+// size under one configuration — and prints the full measurement record,
+// optionally as JSON for scripting.
+//
+// Usage:
+//
+//	hibench -workload pagerank -size large -tier 2 [-executors 4]
+//	        [-cores 10] [-cap 0.4] [-seed 1] [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/hibench"
+	"repro/internal/memsim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "pagerank", "workload name (Table II)")
+	sizeFlag := flag.String("size", "small", "dataset size: tiny, small, large")
+	tier := flag.Int("tier", 0, "memory tier (0-3)")
+	executors := flag.Int("executors", 0, "executor count (0 = default 1)")
+	cores := flag.Int("cores", 0, "cores per executor (0 = default 40)")
+	cap := flag.Float64("cap", 0, "MBA bandwidth cap fraction (0 = uncapped)")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	asJSON := flag.Bool("json", false, "emit the record as JSON")
+	flag.Parse()
+
+	var size workloads.Size
+	switch *sizeFlag {
+	case "tiny":
+		size = workloads.Tiny
+	case "small":
+		size = workloads.Small
+	case "large":
+		size = workloads.Large
+	default:
+		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeFlag)
+		os.Exit(2)
+	}
+
+	res, err := hibench.Run(hibench.RunSpec{
+		Workload:         *workload,
+		Size:             size,
+		Tier:             memsim.TierID(*tier),
+		Executors:        *executors,
+		CoresPerExecutor: *cores,
+		BandwidthCap:     *cap,
+		Seed:             *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		record := map[string]any{
+			"spec":             res.Spec.String(),
+			"duration_s":       res.Duration.Seconds(),
+			"summary":          res.Summary.String(),
+			"media_reads":      res.Metrics.MediaReads,
+			"media_writes":     res.Metrics.MediaWrites,
+			"write_ratio":      res.Metrics.WriteRatio(),
+			"shuffle_bytes":    res.Metrics.ShuffleRead,
+			"stages":           res.Metrics.Stages,
+			"tasks":            res.Metrics.Tasks,
+			"energy_j":         res.Metrics.EnergyJ,
+			"dram_energy_j":    res.DRAMEnergy.TotalJ,
+			"dcpm_energy_j":    res.DCPMEnergy.TotalJ,
+			"max_mem_sharers":  res.Metrics.MaxSharers,
+			"cpu_seconds":      res.Metrics.CPUNS / 1e9,
+			"stall_seconds":    res.Metrics.StallNS / 1e9,
+			"nvm_media_reads":  res.NVMCounters.MediaReads,
+			"nvm_media_writes": res.NVMCounters.MediaWrites,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(record); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("%s\n", res.Spec)
+	fmt.Printf("  execution time  %.4fs\n", res.Duration.Seconds())
+	fmt.Printf("  verification    %s\n", res.Summary)
+	fmt.Printf("  media accesses  %d reads / %d writes (write ratio %.2f)\n",
+		res.Metrics.MediaReads, res.Metrics.MediaWrites, res.Metrics.WriteRatio())
+	fmt.Printf("  shuffle bytes   %d across %d stages / %d tasks\n",
+		res.Metrics.ShuffleRead, res.Metrics.Stages, res.Metrics.Tasks)
+	fmt.Printf("  bound energy    %.2f J (DRAM group %.2f J, DCPM group %.2f J)\n",
+		res.Metrics.EnergyJ, res.DRAMEnergy.TotalJ, res.DCPMEnergy.TotalJ)
+}

@@ -1,0 +1,49 @@
+// Command mba reproduces Figure 3: execution-time distributions under
+// Intel MBA-style memory bandwidth caps, asking the paper's question —
+// does bandwidth or latency dominate?
+//
+// Usage:
+//
+//	mba [-tier 2] [-workloads sort,lda] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/memsim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	tier := flag.Int("tier", 2, "memory tier to run on (0-3)")
+	workloadsFlag := flag.String("workloads", "", "comma-separated workload names (default: all)")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	if !memsim.TierID(*tier).Valid() {
+		fmt.Fprintf(os.Stderr, "invalid tier %d\n", *tier)
+		os.Exit(2)
+	}
+	var names []string
+	if *workloadsFlag != "" {
+		for _, n := range strings.Split(*workloadsFlag, ",") {
+			if _, err := workloads.ByName(n); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			names = append(names, n)
+		}
+	}
+
+	sweep := core.RunMBASweep(names, nil, memsim.TierID(*tier), *seed)
+	sweep.Table().Render(os.Stdout)
+	fmt.Println()
+	fmt.Println("max relative change of mean execution time vs uncapped (flat = bandwidth unsaturated):")
+	for w, dev := range sweep.Flatness() {
+		fmt.Printf("  %-12s %.2f%%\n", w, dev*100)
+	}
+}

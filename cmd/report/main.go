@@ -1,0 +1,45 @@
+// Command report prints the workload catalog (Table II) and, with -run,
+// a one-shot summary of the headline characterization numbers.
+//
+// Usage:
+//
+//	report [-run]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	run := flag.Bool("run", false, "also run the characterization matrix and print headline numbers")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	t := core.Table{
+		Title:   "Table II: examined Spark applications and (scaled) dataset parameters",
+		Headers: []string{"workload", "category", "tiny", "small", "large"},
+	}
+	for _, w := range workloads.All() {
+		t.AddRow(w.Name(), string(w.Category()),
+			w.Describe(workloads.Tiny), w.Describe(workloads.Small), w.Describe(workloads.Large))
+	}
+	t.Render(os.Stdout)
+
+	if !*run {
+		return
+	}
+	fmt.Println()
+	c := core.RunCharacterization(nil, nil, nil, *seed)
+	fmt.Println("headline characterization numbers (geomean across all workload/size cells):")
+	fmt.Printf("  slowdown vs Tier 0:        T1 %.2fx  T2 %.2fx  T3 %.2fx\n",
+		c.MeanSlowdown(1), c.MeanSlowdown(2), c.MeanSlowdown(3))
+	fmt.Printf("  DCPM-bound vs DRAM-bound:  %.2fx execution time\n", c.DCPMvsDRAMSlowdown())
+	fmt.Printf("  DIMM energy DCPM vs DRAM:  %.2fx per DIMM\n", c.MeanEnergyRatio())
+	fmt.Println()
+	core.GuidelinesTable(core.DeriveGuidelines(c, 0.15)).Render(os.Stdout)
+}

@@ -1,0 +1,66 @@
+// Command scaling reproduces Figure 4: speedup/slowdown heatmaps over the
+// (executors x cores) grid against the 1x40 baseline, for the four
+// representative workloads at small and large sizes.
+//
+// Usage:
+//
+//	scaling [-tier 2] [-workloads sort,rf,lda,pagerank] [-sizes small,large]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/memsim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	tier := flag.Int("tier", 2, "memory tier to run on (0-3)")
+	workloadsFlag := flag.String("workloads", strings.Join(core.Fig4Workloads(), ","), "workloads to sweep")
+	sizesFlag := flag.String("sizes", "small,large", "sizes to sweep")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	if !memsim.TierID(*tier).Valid() {
+		fmt.Fprintf(os.Stderr, "invalid tier %d\n", *tier)
+		os.Exit(2)
+	}
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, name := range strings.Split(*workloadsFlag, ",") {
+		if _, err := workloads.ByName(name); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, size := range sizes {
+			grid := core.RunScalingGrid(name, size, memsim.TierID(*tier), nil, nil, *seed)
+			grid.Table(nil, nil).Render(os.Stdout)
+			fmt.Printf("  worst slowdown %.2fx, best speedup %.2fx\n\n",
+				grid.WorstSlowdown(), grid.BestSpeedup())
+		}
+	}
+}
+
+func parseSizes(s string) ([]workloads.Size, error) {
+	var out []workloads.Size
+	for _, part := range strings.Split(s, ",") {
+		switch part {
+		case "tiny":
+			out = append(out, workloads.Tiny)
+		case "small":
+			out = append(out, workloads.Small)
+		case "large":
+			out = append(out, workloads.Large)
+		default:
+			return nil, fmt.Errorf("unknown size %q", part)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,59 @@
+// Command whatif re-runs the characterization with hypothetical capacity
+// tiers in the Tier 2 slot — CXL-attached DRAM and next-generation NVM —
+// quantifying how much of the paper's DRAM/DCPM gap future technologies
+// would close (the direction its introduction and §IV-G sketch).
+//
+// Usage:
+//
+//	whatif [-size large] [-workloads sort,lda] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	sizeFlag := flag.String("size", "large", "dataset size: tiny, small, large")
+	workloadsFlag := flag.String("workloads", "", "comma-separated workload names (default: all)")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	var size workloads.Size
+	switch *sizeFlag {
+	case "tiny":
+		size = workloads.Tiny
+	case "small":
+		size = workloads.Small
+	case "large":
+		size = workloads.Large
+	default:
+		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeFlag)
+		os.Exit(2)
+	}
+	var names []string
+	if *workloadsFlag != "" {
+		names = strings.Split(*workloadsFlag, ",")
+		for _, n := range names {
+			if _, err := workloads.ByName(n); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	fmt.Println("modeled capacity-tier technologies:")
+	for _, sc := range core.WhatIfScenarios() {
+		fmt.Printf("  %-9s %s (%.0f ns, %.1f GB/s)\n",
+			sc.Name, sc.Description, sc.Spec.IdleLatencyNS, sc.Spec.BandwidthBytes/1e9)
+	}
+	fmt.Println()
+
+	results := core.RunWhatIf(names, size, *seed)
+	core.WhatIfTable(results).Render(os.Stdout)
+}

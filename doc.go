@@ -1,0 +1,11 @@
+// Package repro reproduces "On the Implications of Heterogeneous Memory
+// Tiering on Spark In-Memory Analytics" (Katsaragakis et al., IPDPSW 2023)
+// as a self-contained Go system: a Spark-like RDD engine executing the
+// seven HiBench workloads of the paper over a simulated dual-socket
+// DRAM/Optane-DCPM machine with the paper's Table I tier characteristics.
+//
+// The root package holds the benchmark harness (bench_test.go), with one
+// benchmark per table and figure of the paper's evaluation. The library
+// lives under internal/ (see DESIGN.md for the module inventory) and the
+// command-line experiment drivers under cmd/.
+package repro

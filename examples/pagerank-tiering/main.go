@@ -1,0 +1,54 @@
+// pagerank-tiering: run the websearch workload of the paper (PageRank over
+// a synthetic web graph) across every memory tier and executor layout, and
+// print the deployment guidance the characterization yields — a compressed
+// version of the paper's §IV-A and §IV-E experiments on one workload.
+//
+// Run with:
+//
+//	go run ./examples/pagerank-tiering
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/hibench"
+	"repro/internal/memsim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	fmt.Println("pagerank across memory tiers (1 executor x 40 cores, large graph)")
+	fmt.Println()
+	var t0 float64
+	for _, tier := range memsim.AllTiers() {
+		res := hibench.MustRun(hibench.RunSpec{
+			Workload: "pagerank", Size: workloads.Large, Tier: tier,
+		})
+		d := res.Duration.Seconds()
+		if tier == memsim.Tier0 {
+			t0 = d
+		}
+		m := res.Metrics
+		fmt.Printf("  %-7s %8.4fs (%.2fx)  media R/W %9d/%9d  energy %6.1f J\n",
+			tier, d, d/t0, m.MediaReads, m.MediaWrites, m.EnergyJ)
+	}
+
+	fmt.Println()
+	fmt.Println("executor layouts on the NVM tier (Tier 2), large graph:")
+	fmt.Println()
+	for _, layout := range []struct{ execs, cores int }{
+		{1, 40}, {2, 20}, {4, 10}, {8, 5}, {1, 10}, {4, 2},
+	} {
+		res := hibench.MustRun(hibench.RunSpec{
+			Workload: "pagerank", Size: workloads.Large, Tier: memsim.Tier2,
+			Executors: layout.execs, CoresPerExecutor: layout.cores,
+		})
+		fmt.Printf("  %d executor(s) x %2d cores: %8.4fs  (peak memory sharers %d)\n",
+			layout.execs, layout.cores, res.Duration.Seconds(), res.Metrics.MaxSharers)
+	}
+
+	fmt.Println()
+	fmt.Println("guidance: keep the graph in DRAM if it fits; if it must spill to")
+	fmt.Println("NVM, prefer fewer-but-not-maximal cores and avoid many skinny")
+	fmt.Println("executors for small graphs (co-operation overhead dominates).")
+}

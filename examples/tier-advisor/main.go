@@ -1,0 +1,45 @@
+// tier-advisor: the paper's §IV-F sketch as a working tool. Profile an
+// application once on local DRAM, then predict — without running it — how
+// long it would take on every other memory tier, and pick a deployment.
+//
+// Run with:
+//
+//	go run ./examples/tier-advisor
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hibench"
+	"repro/internal/memsim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	// Train the advisor on the micro and ML workloads...
+	training := []string{"sort", "repartition", "als", "bayes", "rf", "lda"}
+	var advisor core.TierAdvisor
+	advisor.Train(training, 1)
+	fmt.Printf("advisor trained on %v (R² = %.3f)\n\n", training, advisor.R2())
+
+	// ...and advise on the unseen websearch workload.
+	const target = "pagerank"
+	fmt.Printf("profiling %s once per size on Tier 0, predicting the rest:\n\n", target)
+	for _, size := range workloads.AllSizes() {
+		profile := hibench.MustRun(hibench.RunSpec{
+			Workload: target, Size: size, Tier: memsim.Tier0,
+		})
+		fmt.Printf("  %s/%-5s measured on Tier 0: %.4fs\n", target, size, profile.Duration.Seconds())
+		for _, tier := range []memsim.TierID{memsim.Tier1, memsim.Tier2, memsim.Tier3} {
+			pred := advisor.Predict(profile, tier)
+			actual := hibench.MustRun(hibench.RunSpec{
+				Workload: target, Size: size, Tier: tier,
+			}).Duration.Seconds()
+			fmt.Printf("    %-7s predicted %8.4fs   actual %8.4fs   error %+5.1f%%\n",
+				tier, pred, actual, (pred-actual)/actual*100)
+		}
+		best, t := advisor.Recommend(profile, nil)
+		fmt.Printf("    -> recommended tier: %s (predicted %.4fs)\n\n", best, t)
+	}
+}

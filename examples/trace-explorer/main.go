@@ -1,0 +1,90 @@
+// trace-explorer: run a full HiBench-style pipeline (stage input on the
+// mini-HDFS, run wordcount over it on the NVM tier) with stage tracing
+// enabled, print a text timeline and write a Chrome trace-event file you
+// can open in chrome://tracing or Perfetto.
+//
+// Run with:
+//
+//	go run ./examples/trace-explorer [trace.json]
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/memsim"
+	"repro/internal/numa"
+	"repro/internal/rdd"
+)
+
+func main() {
+	out := "trace.json"
+	if len(os.Args) > 1 {
+		out = os.Args[1]
+	}
+
+	conf := cluster.DefaultConf()
+	conf.Binding = numa.BindingForTier(memsim.Tier2)
+	app := cluster.New(conf)
+	rec := app.EnableTracing()
+
+	// Stage the input corpus on the mini-HDFS (the HiBench dataprep step).
+	fs := dfs.New(4, 64<<10, 2)
+	vocabulary := []string{"tier", "dram", "optane", "latency", "bandwidth",
+		"shuffle", "executor", "spark", "memory", "numa"}
+	gen := rdd.Generate(app, "corpus", 5_000, 0, func(r *rand.Rand, _ int) string {
+		words := make([]string, 8)
+		for i := range words {
+			words[i] = vocabulary[r.Intn(len(vocabulary))]
+		}
+		return strings.Join(words, " ")
+	})
+	if _, err := rdd.SaveToDFS(gen, fs, "/wc/input", func(lines []string) []byte {
+		if len(lines) == 0 {
+			return nil
+		}
+		return []byte(strings.Join(lines, "\n") + "\n")
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// The job: read back from DFS, word-count, collect.
+	in, err := rdd.TextFileDFS(app, fs, "/wc/input")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	words := rdd.FlatMap(in, strings.Fields)
+	pairs := rdd.Map(words, func(w string) rdd.Pair[string, int] { return rdd.KV(w, 1) })
+	counts := rdd.Collect(rdd.ReduceByKey(pairs, func(a, b int) int { return a + b }, 0))
+
+	fmt.Printf("wordcount over DFS on %s: %d distinct words, %.4fs virtual\n\n",
+		app.Tier().Spec.Name, len(counts), app.Elapsed().Seconds())
+
+	fmt.Println("stage timeline:")
+	for _, s := range rec.Spans() {
+		bar := strings.Repeat("#", 1+int(s.Duration().Seconds()*2000))
+		if len(bar) > 48 {
+			bar = bar[:48]
+		}
+		fmt.Printf("  %9.4fs  %-34s %4d tasks  %s\n",
+			s.Start.Seconds(), s.Name, s.Tasks, bar)
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := rec.WriteChromeTrace(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s — open it in chrome://tracing or https://ui.perfetto.dev\n", out)
+}

@@ -1,0 +1,138 @@
+// Package blockmgr implements a Spark-style executor-local block manager:
+// the storage layer behind RDD persist/cache. Blocks hold materialized
+// partitions; capacity is bounded and eviction is LRU, mirroring
+// Spark's MEMORY_ONLY storage level where evicted partitions are simply
+// recomputed from lineage.
+//
+// The block manager is a pure data structure: memory-tier charging for
+// block reads/writes is done by the caller (the task context), which knows
+// the executor's binding.
+package blockmgr
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// BlockID names a materialized partition of an RDD.
+type BlockID struct {
+	RDD       int
+	Partition int
+}
+
+// String formats like Spark's "rdd_12_3".
+func (id BlockID) String() string { return fmt.Sprintf("rdd_%d_%d", id.RDD, id.Partition) }
+
+type entry struct {
+	id    BlockID
+	data  any
+	bytes int64
+	items int
+	elem  *list.Element
+}
+
+// Manager is one executor's block store.
+type Manager struct {
+	capacity int64
+	used     int64
+	blocks   map[BlockID]*entry
+	lru      *list.List // front = most recently used
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// New creates a manager with the given capacity in bytes. capacity <= 0
+// means unbounded.
+func New(capacity int64) *Manager {
+	return &Manager{
+		capacity: capacity,
+		blocks:   make(map[BlockID]*entry),
+		lru:      list.New(),
+	}
+}
+
+// Capacity returns the configured capacity (0 or negative = unbounded).
+func (m *Manager) Capacity() int64 { return m.capacity }
+
+// Used returns the bytes currently stored.
+func (m *Manager) Used() int64 { return m.used }
+
+// Len returns the number of stored blocks.
+func (m *Manager) Len() int { return len(m.blocks) }
+
+// Stats returns cache hits, misses and evictions since creation.
+func (m *Manager) Stats() (hits, misses, evictions int64) {
+	return m.hits, m.misses, m.evictions
+}
+
+// Get returns the block's data and size, marking it most recently used.
+func (m *Manager) Get(id BlockID) (data any, bytes int64, items int, ok bool) {
+	e, found := m.blocks[id]
+	if !found {
+		m.misses++
+		return nil, 0, 0, false
+	}
+	m.hits++
+	m.lru.MoveToFront(e.elem)
+	return e.data, e.bytes, e.items, true
+}
+
+// Contains reports block presence without touching LRU order or stats.
+func (m *Manager) Contains(id BlockID) bool {
+	_, ok := m.blocks[id]
+	return ok
+}
+
+// Put stores a block, evicting least-recently-used blocks if needed, and
+// returns the ids of evicted blocks so callers can account recomputation.
+// A block larger than the whole capacity is not stored (Spark drops such
+// partitions rather than thrashing the cache).
+func (m *Manager) Put(id BlockID, data any, bytes int64, items int) (evicted []BlockID) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("blockmgr: negative block size %d for %s", bytes, id))
+	}
+	if old, ok := m.blocks[id]; ok {
+		m.used -= old.bytes
+		m.lru.Remove(old.elem)
+		delete(m.blocks, id)
+	}
+	if m.capacity > 0 && bytes > m.capacity {
+		return nil
+	}
+	for m.capacity > 0 && m.used+bytes > m.capacity && m.lru.Len() > 0 {
+		victim := m.lru.Back().Value.(*entry)
+		m.removeEntry(victim)
+		m.evictions++
+		evicted = append(evicted, victim.id)
+	}
+	e := &entry{id: id, data: data, bytes: bytes, items: items}
+	e.elem = m.lru.PushFront(e)
+	m.blocks[id] = e
+	m.used += bytes
+	return evicted
+}
+
+// Remove drops a block if present and reports whether it existed.
+func (m *Manager) Remove(id BlockID) bool {
+	e, ok := m.blocks[id]
+	if !ok {
+		return false
+	}
+	m.removeEntry(e)
+	return true
+}
+
+// Clear drops all blocks.
+func (m *Manager) Clear() {
+	m.blocks = make(map[BlockID]*entry)
+	m.lru.Init()
+	m.used = 0
+}
+
+func (m *Manager) removeEntry(e *entry) {
+	m.lru.Remove(e.elem)
+	delete(m.blocks, e.id)
+	m.used -= e.bytes
+}

@@ -1,0 +1,147 @@
+package blockmgr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetRoundtrip(t *testing.T) {
+	m := New(1000)
+	id := BlockID{RDD: 1, Partition: 2}
+	m.Put(id, []int{1, 2, 3}, 24, 3)
+	data, bytes, items, ok := m.Get(id)
+	if !ok {
+		t.Fatal("block not found after Put")
+	}
+	if bytes != 24 || items != 3 {
+		t.Fatalf("bytes/items = %d/%d, want 24/3", bytes, items)
+	}
+	if got := data.([]int); len(got) != 3 || got[0] != 1 {
+		t.Fatalf("data corrupted: %v", got)
+	}
+	if id.String() != "rdd_1_2" {
+		t.Errorf("BlockID string = %q", id.String())
+	}
+}
+
+func TestGetMissCountsMiss(t *testing.T) {
+	m := New(100)
+	if _, _, _, ok := m.Get(BlockID{9, 9}); ok {
+		t.Fatal("phantom block")
+	}
+	hits, misses, _ := m.Stats()
+	if hits != 0 || misses != 1 {
+		t.Fatalf("stats = %d/%d, want 0 hits / 1 miss", hits, misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	m := New(100)
+	a, b, c := BlockID{1, 0}, BlockID{1, 1}, BlockID{1, 2}
+	m.Put(a, "a", 40, 1)
+	m.Put(b, "b", 40, 1)
+	m.Get(a) // a becomes MRU; b is now LRU
+	evicted := m.Put(c, "c", 40, 1)
+	if len(evicted) != 1 || evicted[0] != b {
+		t.Fatalf("evicted = %v, want [%v]", evicted, b)
+	}
+	if !m.Contains(a) || !m.Contains(c) || m.Contains(b) {
+		t.Fatal("wrong survivor set after eviction")
+	}
+	if m.Used() != 80 {
+		t.Fatalf("used = %d, want 80", m.Used())
+	}
+}
+
+func TestOversizedBlockNotStored(t *testing.T) {
+	m := New(100)
+	m.Put(BlockID{1, 0}, "small", 50, 1)
+	evicted := m.Put(BlockID{1, 1}, "huge", 500, 1)
+	if len(evicted) != 0 {
+		t.Fatal("oversized put must not evict")
+	}
+	if m.Contains(BlockID{1, 1}) {
+		t.Fatal("oversized block stored")
+	}
+	if !m.Contains(BlockID{1, 0}) {
+		t.Fatal("existing block lost")
+	}
+}
+
+func TestReplaceUpdatesUsage(t *testing.T) {
+	m := New(0) // unbounded
+	id := BlockID{2, 0}
+	m.Put(id, "v1", 30, 1)
+	m.Put(id, "v2", 70, 2)
+	if m.Used() != 70 || m.Len() != 1 {
+		t.Fatalf("used/len = %d/%d, want 70/1", m.Used(), m.Len())
+	}
+	data, _, _, _ := m.Get(id)
+	if data.(string) != "v2" {
+		t.Fatal("replacement not visible")
+	}
+}
+
+func TestRemoveAndClear(t *testing.T) {
+	m := New(0)
+	id := BlockID{3, 1}
+	m.Put(id, 1, 10, 1)
+	if !m.Remove(id) {
+		t.Fatal("Remove returned false for existing block")
+	}
+	if m.Remove(id) {
+		t.Fatal("Remove returned true for missing block")
+	}
+	m.Put(id, 1, 10, 1)
+	m.Clear()
+	if m.Len() != 0 || m.Used() != 0 {
+		t.Fatal("Clear left residue")
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	m := New(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative size did not panic")
+		}
+	}()
+	m.Put(BlockID{1, 1}, nil, -1, 0)
+}
+
+// Property: used bytes always equal the sum of stored block sizes, and
+// never exceed capacity for bounded managers.
+func TestUsageInvariantProperty(t *testing.T) {
+	prop := func(ops []struct {
+		RDD, Part uint8
+		Size      uint16
+	}) bool {
+		const capBytes = 10_000
+		m := New(capBytes)
+		live := map[BlockID]int64{}
+		for _, op := range ops {
+			id := BlockID{int(op.RDD % 8), int(op.Part % 8)}
+			sz := int64(op.Size)
+			evicted := m.Put(id, nil, sz, 1)
+			if sz <= capBytes {
+				live[id] = sz
+			} else {
+				delete(live, id)
+			}
+			for _, ev := range evicted {
+				delete(live, ev)
+			}
+		}
+		var want int64
+		for id, sz := range live {
+			if !m.Contains(id) {
+				return false
+			}
+			want += sz
+		}
+		return m.Used() == want && m.Used() <= capBytes && m.Len() == len(live)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

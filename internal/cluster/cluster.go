@@ -1,0 +1,272 @@
+// Package cluster assembles one Spark application in pseudo-distributed
+// standalone mode, as in the paper's testbed: a driver plus N executors on
+// one machine, each executor bound with numactl-style cpunodebind/membind
+// to a compute socket and a memory tier. It implements rdd.Driver, so
+// workloads are written purely against the RDD API.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/executor"
+	"repro/internal/memsim"
+	"repro/internal/numa"
+	"repro/internal/rdd"
+	"repro/internal/scheduler"
+	"repro/internal/shuffle"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// Conf is the tunable Spark/hardware configuration of one application run.
+type Conf struct {
+	// Executors is the number of executor processes (Figure 4's Y axis).
+	Executors int
+	// CoresPerExecutor is each executor's core count; Executors x
+	// CoresPerExecutor is the total cores used (Figure 4's X axis).
+	CoresPerExecutor int
+	// Binding pins executors to a compute socket and memory tier.
+	Binding numa.Binding
+	// DefaultParallelism is the shuffle/source partition count
+	// (spark.default.parallelism). Zero defaults to 2x total cores.
+	DefaultParallelism int
+	// CacheCapacity bounds each executor's block manager (0 = unbounded).
+	CacheCapacity int64
+	// BandwidthCap applies an Intel-MBA-style throttle in (0,1]; zero
+	// means uncapped.
+	BandwidthCap float64
+	// Placement optionally routes heap, shuffle and cache traffic to
+	// different tiers (the §IV-G "tier per access type" exploration);
+	// nil places every category on Binding.Mem, the paper's membind.
+	Placement *executor.Placement
+	// TierSpecs overrides the machine's tier specifications (what-if
+	// studies on hypothetical memory technologies); nil uses the paper's
+	// Table I testbed.
+	TierSpecs *[memsim.NumTiers]memsim.TierSpec
+	// TaskFailureRate injects seeded task failures: each task attempt
+	// fails with this probability and is retried (Spark re-runs failed
+	// tasks from lineage). Zero disables injection.
+	TaskFailureRate float64
+	// Seed drives all randomness in the application.
+	Seed int64
+	// Cost overrides the cost model; zero value selects the default.
+	Cost *executor.CostModel
+}
+
+// DefaultConf is the paper's default deployment: one executor using all 40
+// hyperthreads of a socket, bound to local DRAM (Tier 0).
+func DefaultConf() Conf {
+	return Conf{
+		Executors:        1,
+		CoresPerExecutor: numa.DefaultTopology().HyperthreadsPerSocket(),
+		Binding:          numa.BindingForTier(memsim.Tier0),
+		Seed:             1,
+	}
+}
+
+// Validate checks the configuration against the machine.
+func (c Conf) Validate() error {
+	topo := numa.DefaultTopology()
+	if c.Executors <= 0 {
+		return fmt.Errorf("cluster: %d executors", c.Executors)
+	}
+	if c.CoresPerExecutor <= 0 {
+		return fmt.Errorf("cluster: %d cores per executor", c.CoresPerExecutor)
+	}
+	if total := c.Executors * c.CoresPerExecutor; total > topo.TotalThreads() {
+		return fmt.Errorf("cluster: %d cores requested, machine has %d", total, topo.TotalThreads())
+	}
+	if c.BandwidthCap < 0 || c.BandwidthCap > 1 {
+		return fmt.Errorf("cluster: bandwidth cap %v out of [0,1]", c.BandwidthCap)
+	}
+	if c.Placement != nil {
+		if err := c.Placement.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.TaskFailureRate < 0 || c.TaskFailureRate >= 1 {
+		return fmt.Errorf("cluster: task failure rate %v out of [0,1)", c.TaskFailureRate)
+	}
+	return c.Binding.Validate()
+}
+
+// App is one running Spark application over the simulated machine.
+type App struct {
+	conf  Conf
+	kern  *sim.Kernel
+	sys   *memsim.System
+	pool  *executor.Pool
+	store *shuffle.Store
+	sched *scheduler.Scheduler
+	cost  executor.CostModel
+	meter *energy.Meter
+
+	rddSeq     int
+	shuffleSeq int
+	started    sim.Time
+	tracer     *trace.Recorder
+}
+
+// New builds an application: fresh kernel and memory system, executors
+// bound per the configuration, and the executor startup stage already
+// accounted (JVM spin-up plus heap initialization traffic on the bound
+// tier — this is why even tiny workloads have a tier-independent floor).
+func New(conf Conf) *App {
+	if err := conf.Validate(); err != nil {
+		panic(err)
+	}
+	cost := executor.DefaultCostModel()
+	if conf.Cost != nil {
+		cost = *conf.Cost
+	}
+	if conf.DefaultParallelism <= 0 {
+		conf.DefaultParallelism = 2 * conf.Executors * conf.CoresPerExecutor
+	}
+	k := sim.NewKernel()
+	var sys *memsim.System
+	if conf.TierSpecs != nil {
+		sys = memsim.NewSystemWithSpecs(k, *conf.TierSpecs)
+	} else {
+		sys = memsim.NewSystem(k)
+	}
+	if conf.BandwidthCap > 0 {
+		sys.SetBandwidthCap(conf.BandwidthCap)
+	}
+	placement := executor.UniformPlacement(conf.Binding.Mem)
+	if conf.Placement != nil {
+		placement = *conf.Placement
+	}
+	pool := executor.NewPlacedPool(conf.Executors, conf.CoresPerExecutor, conf.Binding, sys, placement, conf.CacheCapacity)
+	a := &App{
+		conf:  conf,
+		kern:  k,
+		sys:   sys,
+		pool:  pool,
+		store: shuffle.NewStore(),
+		cost:  cost,
+		meter: energy.NewMeter(),
+	}
+	a.sched = scheduler.New(a)
+	a.startExecutors()
+	a.started = k.Now()
+	return a
+}
+
+// startExecutors charges the per-executor startup: a serial driver-side
+// launch delay per executor, then the parallel startup stage (fixed CPU
+// plus a sequential heap-initialization write to the bound tier).
+func (a *App) startExecutors() {
+	serial := sim.Duration(float64(a.pool.Size()) * a.cost.ExecLaunchSerialNS)
+	if serial > 0 {
+		a.kern.RunUntil(a.kern.Now() + serial)
+	}
+	tasks := make([]executor.SimTask, 0, a.pool.Size())
+	for _, ex := range a.pool.Executors {
+		ctx := a.pool.ConfigureContext(executor.NewPlacedTaskContext(ex.ID, ex.ID,
+			a.pool.Tier(), a.pool.ShuffleTier(), a.pool.CacheTier(),
+			a.cost, ex.Blocks, a.store, a.conf.Seed))
+		ctx.CPU(a.cost.ExecStartupNS)
+		ctx.MemSeq(memsim.Write, a.cost.ExecStartupBytes)
+		tasks = append(tasks, executor.SimTask{Profile: ctx.Profile(), ExecID: ex.ID})
+	}
+	executor.SimulateStage(a.kern, a.pool, tasks, a.cost)
+}
+
+// Conf returns the application configuration (post-defaulting).
+func (a *App) Conf() Conf { return a.conf }
+
+// Kernel implements scheduler.Env.
+func (a *App) Kernel() *sim.Kernel { return a.kern }
+
+// Pool implements scheduler.Env.
+func (a *App) Pool() *executor.Pool { return a.pool }
+
+// ShuffleStore implements scheduler.Env.
+func (a *App) ShuffleStore() *shuffle.Store { return a.store }
+
+// Cost implements scheduler.Env.
+func (a *App) Cost() executor.CostModel { return a.cost }
+
+// Seed implements rdd.Driver and scheduler.Env.
+func (a *App) Seed() int64 { return a.conf.Seed }
+
+// Tracer implements scheduler.Env; nil until EnableTracing is called.
+func (a *App) Tracer() *trace.Recorder { return a.tracer }
+
+// TaskFailureRate implements scheduler.Env.
+func (a *App) TaskFailureRate() float64 { return a.conf.TaskFailureRate }
+
+// EnableTracing turns on stage-span recording and returns the recorder.
+// Call it before running jobs; spans land in chrome://tracing format via
+// trace.Recorder.WriteChromeTrace.
+func (a *App) EnableTracing() *trace.Recorder {
+	if a.tracer == nil {
+		a.tracer = &trace.Recorder{}
+	}
+	return a.tracer
+}
+
+// System exposes the memory system (for probes and experiment harnesses).
+func (a *App) System() *memsim.System { return a.sys }
+
+// Tier returns the tier executors are bound to.
+func (a *App) Tier() *memsim.Tier { return a.pool.Tier() }
+
+// NextRDDID implements rdd.Driver.
+func (a *App) NextRDDID() int { a.rddSeq++; return a.rddSeq }
+
+// NextShuffleID implements rdd.Driver.
+func (a *App) NextShuffleID() int { a.shuffleSeq++; return a.shuffleSeq }
+
+// DefaultParallelism implements rdd.Driver.
+func (a *App) DefaultParallelism() int { return a.conf.DefaultParallelism }
+
+// RunJob implements rdd.Driver by delegating to the DAG scheduler.
+func (a *App) RunJob(final *rdd.Base, fn rdd.ResultFunc) []any {
+	return a.sched.RunJob(final, fn)
+}
+
+// Elapsed is the virtual time since executor startup completed — the
+// paper's "execution time" for a workload run on this application.
+func (a *App) Elapsed() sim.Time { return a.kern.Now() }
+
+// Metrics snapshots the run-level system metrics: scheduler stats, the
+// counters of every tier the app touched (summed — with the paper's
+// uniform membind that is exactly the bound tier) and the bound device
+// group's energy over the full elapsed time (startup included, as a real
+// measurement would).
+func (a *App) Metrics() telemetry.RunMetrics {
+	var m telemetry.RunMetrics
+	m.Duration = a.Elapsed()
+	st := a.sched.Stats()
+	m.CPUNS = st.CPUNS
+	m.StallNS = st.StallNS
+	m.Stages = st.Stages
+	m.Tasks = st.Tasks
+	m.ShuffleRead = st.ShuffleRead
+	m.MaxSharers = st.MaxSharers
+	var total memsim.Counters
+	for _, id := range memsim.AllTiers() {
+		total.Add(a.sys.Tier(id).Counters())
+	}
+	m.FromCounters(total)
+	for _, ex := range a.pool.Executors {
+		h, mi, _ := ex.Blocks.Stats()
+		m.CacheHits += h
+		m.CacheMisses += mi
+	}
+	m.EnergyJ = a.meter.Measure(a.Tier().Spec, a.Tier().Counters(), a.Elapsed()).TotalJ
+	return m
+}
+
+// EnergyReport measures a tier's device-group energy over the app's
+// elapsed time (Figure 2 bottom compares Tier 0 DRAM vs Tier 2 DCPM).
+func (a *App) EnergyReport(tier memsim.TierID) energy.Report {
+	t := a.sys.Tier(tier)
+	return a.meter.Measure(t.Spec, t.Counters(), a.Elapsed())
+}
+
+var _ rdd.Driver = (*App)(nil)
+var _ scheduler.Env = (*App)(nil)

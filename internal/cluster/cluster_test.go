@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/executor"
+	"repro/internal/memsim"
+	"repro/internal/numa"
+)
+
+func TestDefaultConfIsPaperDefault(t *testing.T) {
+	c := DefaultConf()
+	if c.Executors != 1 || c.CoresPerExecutor != 40 {
+		t.Fatalf("default = %d x %d, want 1 x 40", c.Executors, c.CoresPerExecutor)
+	}
+	if c.Binding.Mem != memsim.Tier0 {
+		t.Fatalf("default binding %v, want Tier 0", c.Binding)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfValidation(t *testing.T) {
+	bad := []Conf{
+		{Executors: 0, CoresPerExecutor: 4, Binding: numa.BindingForTier(memsim.Tier0)},
+		{Executors: 1, CoresPerExecutor: 0, Binding: numa.BindingForTier(memsim.Tier0)},
+		{Executors: 3, CoresPerExecutor: 40, Binding: numa.BindingForTier(memsim.Tier0)}, // 120 > 80
+		{Executors: 1, CoresPerExecutor: 4, Binding: numa.BindingForTier(memsim.Tier0), BandwidthCap: 2},
+		{Executors: 1, CoresPerExecutor: 4, Binding: numa.Binding{CPU: 9, Mem: memsim.Tier0}},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("conf %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestNewAppStartupAccounted(t *testing.T) {
+	conf := DefaultConf()
+	conf.CoresPerExecutor = 4
+	app := New(conf)
+	if app.Elapsed() <= 0 {
+		t.Error("executor startup must consume virtual time")
+	}
+	if app.Tier().Counters().WriteBytes < app.Cost().ExecStartupBytes {
+		t.Error("executor heap init traffic missing from tier counters")
+	}
+}
+
+func TestMoreExecutorsMoreStartupTraffic(t *testing.T) {
+	mk := func(n int) int64 {
+		conf := DefaultConf()
+		conf.Executors = n
+		conf.CoresPerExecutor = 4
+		app := New(conf)
+		return app.Tier().Counters().WriteBytes
+	}
+	if mk(4) <= mk(1) {
+		t.Error("4 executors must write more startup bytes than 1")
+	}
+}
+
+func TestDefaultParallelismDerivation(t *testing.T) {
+	conf := DefaultConf()
+	conf.Executors = 2
+	conf.CoresPerExecutor = 10
+	app := New(conf)
+	if got := app.DefaultParallelism(); got != 40 {
+		t.Fatalf("default parallelism = %d, want 2x20=40", got)
+	}
+	conf.DefaultParallelism = 7
+	app2 := New(conf)
+	if app2.DefaultParallelism() != 7 {
+		t.Fatal("explicit parallelism not honored")
+	}
+}
+
+func TestBandwidthCapApplied(t *testing.T) {
+	conf := DefaultConf()
+	conf.CoresPerExecutor = 4
+	conf.BandwidthCap = 0.25
+	app := New(conf)
+	if got := app.Tier().BandwidthCap(); got != 0.25 {
+		t.Fatalf("cap = %v, want 0.25", got)
+	}
+}
+
+func TestIDAllocation(t *testing.T) {
+	conf := DefaultConf()
+	conf.CoresPerExecutor = 4
+	app := New(conf)
+	a, b := app.NextRDDID(), app.NextRDDID()
+	if a == b {
+		t.Error("duplicate RDD ids")
+	}
+	s1, s2 := app.NextShuffleID(), app.NextShuffleID()
+	if s1 == s2 {
+		t.Error("duplicate shuffle ids")
+	}
+}
+
+func TestCustomCostModel(t *testing.T) {
+	cost := executor.DefaultCostModel()
+	cost.ExecStartupNS = 0
+	cost.ExecStartupBytes = 0
+	cost.StageOverheadNS = 0
+	conf := DefaultConf()
+	conf.CoresPerExecutor = 4
+	conf.Cost = &cost
+	app := New(conf)
+	if app.Cost().ExecStartupNS != 0 {
+		t.Error("custom cost model not installed")
+	}
+}
+
+func TestEnergyReportPerTier(t *testing.T) {
+	conf := DefaultConf()
+	conf.CoresPerExecutor = 4
+	conf.Binding = numa.BindingForTier(memsim.Tier2)
+	app := New(conf)
+	rep := app.EnergyReport(memsim.Tier2)
+	if rep.TotalJ <= 0 {
+		t.Error("bound tier energy must be positive after startup")
+	}
+	if rep.Kind != memsim.DCPM {
+		t.Errorf("tier 2 kind = %v, want DCPM", rep.Kind)
+	}
+}
+
+func TestInvalidConfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with invalid conf did not panic")
+		}
+	}()
+	New(Conf{})
+}
+
+func TestCustomTierSpecs(t *testing.T) {
+	specs := memsim.DefaultSpecs()
+	specs[memsim.Tier2].IdleLatencyNS = 999
+	conf := DefaultConf()
+	conf.CoresPerExecutor = 4
+	conf.TierSpecs = &specs
+	app := New(conf)
+	if got := app.System().Tier(memsim.Tier2).Spec.IdleLatencyNS; got != 999 {
+		t.Fatalf("custom spec not installed: latency = %v", got)
+	}
+	// Default apps keep Table I.
+	app2 := New(Conf{Executors: 1, CoresPerExecutor: 4, Binding: numa.BindingForTier(memsim.Tier0), Seed: 1})
+	if got := app2.System().Tier(memsim.Tier2).Spec.IdleLatencyNS; got != 172.1 {
+		t.Fatalf("default spec drifted: %v", got)
+	}
+}
+
+func TestPlacementConfValidation(t *testing.T) {
+	bad := executor.Placement{Heap: memsim.TierID(9), Shuffle: memsim.Tier0, Cache: memsim.Tier0}
+	conf := DefaultConf()
+	conf.CoresPerExecutor = 4
+	conf.Placement = &bad
+	if conf.Validate() == nil {
+		t.Fatal("invalid placement accepted")
+	}
+}
+
+func TestMetricsAggregateAcrossTiers(t *testing.T) {
+	p := executor.Placement{Heap: memsim.Tier0, Shuffle: memsim.Tier2, Cache: memsim.Tier0}
+	conf := DefaultConf()
+	conf.CoresPerExecutor = 4
+	conf.Placement = &p
+	app := New(conf)
+	// Startup writes to the heap tier only; simulate shuffle-tier traffic.
+	app.System().Tier(memsim.Tier2).RecordAccess(memsim.Read, 4096)
+	m := app.Metrics()
+	t0 := app.System().Tier(memsim.Tier0).Counters()
+	t2 := app.System().Tier(memsim.Tier2).Counters()
+	if m.ReadBytes != t0.ReadBytes+t2.ReadBytes {
+		t.Fatalf("metrics read bytes %d != sum of tiers %d", m.ReadBytes, t0.ReadBytes+t2.ReadBytes)
+	}
+}

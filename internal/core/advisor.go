@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hibench"
+	"repro/internal/memsim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// TierAdvisor is the §IV-F direction made concrete: a linear model that
+// predicts a workload's execution time on any memory tier from (i) the
+// tier's hardware specification and (ii) system-level metrics observed on
+// a single local-memory (Tier 0) profiling run. The paper's Takeaway 8 —
+// specs and system events correlate strongly with runtime — is what makes
+// this model work.
+type TierAdvisor struct {
+	fit     stats.LinearFit
+	trained bool
+}
+
+// advisorFeatures builds the model's feature vector: the Tier 0 run's
+// duration anchors the prediction, and its media counters interacted with
+// the target tier's latency/bandwidth specs model the tier delta.
+func advisorFeatures(profile hibench.RunResult, tier memsim.TierSpec) []float64 {
+	m := profile.Metrics
+	lat := tier.IdleLatencyNS
+	invBW := 1e9 / tier.BandwidthBytes
+	wLat := lat * tier.WriteLatencyFactor
+	return []float64{
+		profile.Duration.Seconds(),               // the Tier 0 anchor
+		float64(m.MediaReads) * lat / 1e9,        // read stall mass on the target tier [s]
+		float64(m.MediaWrites) * wLat / 1e9,      // write stall mass (asymmetric media) [s]
+		float64(m.MediaReadBytes) * invBW / 1e9,  // read transfer time [s]
+		float64(m.MediaWriteBytes) * invBW / 1e9, // write transfer time [s]
+	}
+}
+
+// Train fits the advisor on the given workloads: each contributes one
+// Tier 0 profiling run and one observed duration per tier.
+func (a *TierAdvisor) Train(names []string, seed int64) {
+	var xs [][]float64
+	var ys []float64
+	specs := memsim.DefaultSpecs()
+	for _, w := range names {
+		for _, size := range workloads.AllSizes() {
+			profile := hibench.MustRun(hibench.RunSpec{
+				Workload: w, Size: size, Tier: memsim.Tier0, Seed: seed,
+			})
+			for _, tier := range memsim.AllTiers() {
+				obs := hibench.MustRun(hibench.RunSpec{
+					Workload: w, Size: size, Tier: tier, Seed: seed,
+				})
+				xs = append(xs, advisorFeatures(profile, specs[tier]))
+				ys = append(ys, obs.Duration.Seconds())
+			}
+		}
+	}
+	a.fit = stats.FitOLS(xs, ys)
+	a.trained = true
+}
+
+// R2 returns the training fit quality.
+func (a *TierAdvisor) R2() float64 {
+	a.mustBeTrained()
+	return a.fit.R2
+}
+
+// Predict estimates the execution time (seconds) of a workload on a tier
+// from its Tier 0 profiling run. Predictions are floored at the profiled
+// Tier 0 time: no tier is faster than local DRAM, and the floor keeps
+// linear extrapolation physical.
+func (a *TierAdvisor) Predict(profile hibench.RunResult, tier memsim.TierID) float64 {
+	a.mustBeTrained()
+	spec := memsim.DefaultSpecs()[tier]
+	pred := a.fit.Predict(advisorFeatures(profile, spec))
+	if floor := profile.Duration.Seconds(); pred < floor {
+		return floor
+	}
+	return pred
+}
+
+// Recommend returns the fastest predicted tier among candidates and its
+// predicted time, given a Tier 0 profile. Candidates are considered in
+// order, and a later tier must predict at least 2% faster to displace the
+// incumbent, so model noise cannot unseat an earlier (cheaper-to-reach)
+// tier on a spurious margin.
+func (a *TierAdvisor) Recommend(profile hibench.RunResult, candidates []memsim.TierID) (memsim.TierID, float64) {
+	a.mustBeTrained()
+	if len(candidates) == 0 {
+		candidates = memsim.AllTiers()
+	}
+	best := candidates[0]
+	bestT := math.Inf(1)
+	for _, tier := range candidates {
+		if t := a.Predict(profile, tier); t < bestT*0.98 {
+			best, bestT = tier, t
+		}
+	}
+	return best, bestT
+}
+
+// Evaluate computes the mean absolute percentage error of the advisor on a
+// held-out workload across all sizes and tiers.
+func (a *TierAdvisor) Evaluate(workload string, seed int64) float64 {
+	a.mustBeTrained()
+	var ape []float64
+	for _, size := range workloads.AllSizes() {
+		profile := hibench.MustRun(hibench.RunSpec{
+			Workload: workload, Size: size, Tier: memsim.Tier0, Seed: seed,
+		})
+		for _, tier := range memsim.AllTiers() {
+			obs := hibench.MustRun(hibench.RunSpec{
+				Workload: workload, Size: size, Tier: tier, Seed: seed,
+			}).Duration.Seconds()
+			pred := a.Predict(profile, tier)
+			ape = append(ape, math.Abs(pred-obs)/obs)
+		}
+	}
+	return stats.Mean(ape)
+}
+
+func (a *TierAdvisor) mustBeTrained() {
+	if !a.trained {
+		panic(fmt.Sprintf("core: %T used before Train", a))
+	}
+}

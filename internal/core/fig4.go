@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hibench"
+	"repro/internal/memsim"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Figure 4's sweep axes: executors (Y) and total cores per NUMA node (X),
+// with the paper's baseline at 1 executor x 40 cores.
+var (
+	// DefaultExecutorCounts is the Y axis of Figure 4.
+	DefaultExecutorCounts = []int{1, 2, 4, 8}
+	// DefaultCoreCounts is the X axis of Figure 4 (total cores in use).
+	DefaultCoreCounts = []int{5, 10, 20, 40}
+)
+
+// Fig4Workloads are the four applications shown in Figure 4.
+func Fig4Workloads() []string { return []string{"sort", "rf", "lda", "pagerank"} }
+
+// ScalingCell is one square of a Figure 4 heatmap.
+type ScalingCell struct {
+	Executors  int
+	TotalCores int
+	Duration   sim.Time
+	// Speedup is baseline time / cell time: >1 is faster than the
+	// 1x40 baseline, <1 is a slowdown.
+	Speedup float64
+	// Valid is false for infeasible layouts (executors > cores).
+	Valid bool
+}
+
+// ScalingGrid is one Figure 4 heatmap: a workload at a size on a tier.
+type ScalingGrid struct {
+	Workload string
+	Size     workloads.Size
+	Tier     memsim.TierID
+	Baseline sim.Time
+	Cells    map[[2]int]ScalingCell // key: [executors, totalCores]
+}
+
+// RunScalingGrid reproduces one heatmap of Figure 4. Cores are divided
+// evenly among executors; layouts with fewer cores than executors are
+// marked invalid (they cannot be launched).
+func RunScalingGrid(workload string, size workloads.Size, tier memsim.TierID,
+	executors, cores []int, seed int64) *ScalingGrid {
+	if executors == nil {
+		executors = DefaultExecutorCounts
+	}
+	if cores == nil {
+		cores = DefaultCoreCounts
+	}
+	grid := &ScalingGrid{
+		Workload: workload,
+		Size:     size,
+		Tier:     tier,
+		Cells:    make(map[[2]int]ScalingCell),
+	}
+	base := hibench.MustRun(hibench.RunSpec{
+		Workload: workload, Size: size, Tier: tier,
+		Executors: 1, CoresPerExecutor: 40, Seed: seed,
+	})
+	grid.Baseline = base.Duration
+	for _, e := range executors {
+		for _, c := range cores {
+			cell := ScalingCell{Executors: e, TotalCores: c}
+			if c >= e {
+				res := hibench.MustRun(hibench.RunSpec{
+					Workload: workload, Size: size, Tier: tier,
+					Executors: e, CoresPerExecutor: c / e, Seed: seed,
+				})
+				cell.Duration = res.Duration
+				cell.Speedup = float64(base.Duration) / float64(res.Duration)
+				cell.Valid = true
+			}
+			grid.Cells[[2]int{e, c}] = cell
+		}
+	}
+	return grid
+}
+
+// Cell returns one square.
+func (g *ScalingGrid) Cell(executors, cores int) ScalingCell {
+	cell, ok := g.Cells[[2]int{executors, cores}]
+	if !ok {
+		panic(fmt.Sprintf("core: missing scaling cell %dx%d", executors, cores))
+	}
+	return cell
+}
+
+// WorstSlowdown returns the largest slowdown factor (1/speedup) over valid
+// cells — the paper reports up to 3.11x on the NVM tier.
+func (g *ScalingGrid) WorstSlowdown() float64 {
+	worst := 1.0
+	for _, c := range g.Cells {
+		if c.Valid && c.Speedup > 0 {
+			if s := 1 / c.Speedup; s > worst {
+				worst = s
+			}
+		}
+	}
+	return worst
+}
+
+// BestSpeedup returns the largest speedup over valid cells.
+func (g *ScalingGrid) BestSpeedup() float64 {
+	best := 0.0
+	for _, c := range g.Cells {
+		if c.Valid && c.Speedup > best {
+			best = c.Speedup
+		}
+	}
+	return best
+}
+
+// Table renders the heatmap with executors as rows and cores as columns.
+func (g *ScalingGrid) Table(executors, cores []int) Table {
+	if executors == nil {
+		executors = DefaultExecutorCounts
+	}
+	if cores == nil {
+		cores = DefaultCoreCounts
+	}
+	t := Table{
+		Title:   fmt.Sprintf("Figure 4: %s/%s on %s — speedup vs 1x40 baseline (%.4fs)", g.Workload, g.Size, g.Tier, g.Baseline.Seconds()),
+		Headers: []string{"executors \\ cores"},
+	}
+	for _, c := range cores {
+		t.Headers = append(t.Headers, fmt.Sprintf("%d", c))
+	}
+	for _, e := range executors {
+		row := []string{fmt.Sprintf("%d", e)}
+		for _, c := range cores {
+			cell := g.Cell(e, c)
+			if !cell.Valid {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.2fx", cell.Speedup))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

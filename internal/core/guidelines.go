@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+	"repro/internal/workloads"
+)
+
+// Guideline is a per-workload deployment recommendation derived from the
+// measured characterization — the machine-generated version of the
+// paper's takeaway guidance ("which workloads can exploit remote/NVM
+// memory without sacrificing performance").
+type Guideline struct {
+	Workload string
+	// RemoteDRAMFree: the workload can move to remote DRAM (Tier 1) with
+	// under 10% cost at every size.
+	RemoteDRAMFree bool
+	// NVMTolerant: the workload can bind to local DCPM (Tier 2) within
+	// the tolerance at every size.
+	NVMTolerant bool
+	// EnergyCheapScaling: DRAM energy grows < 3x from tiny to large
+	// (the paper's sort/als observation).
+	EnergyCheapScaling bool
+	// Recommended is the cheapest tier whose slowdown stays within the
+	// tolerance at the large size.
+	Recommended memsim.TierID
+	// Rationale is a one-line explanation.
+	Rationale string
+}
+
+// DeriveGuidelines turns a characterization into deployment guidance.
+// tolerance is the acceptable slowdown vs local DRAM (e.g. 0.15 = 15%).
+func DeriveGuidelines(c *Characterization, tolerance float64) []Guideline {
+	if tolerance <= 0 {
+		tolerance = 0.15
+	}
+	var out []Guideline
+	for _, w := range c.Workloads {
+		g := Guideline{Workload: w, RemoteDRAMFree: true, NVMTolerant: true}
+		for _, size := range c.Sizes {
+			if c.Slowdown(w, size, memsim.Tier1) > 1.10 {
+				g.RemoteDRAMFree = false
+			}
+			if c.Slowdown(w, size, memsim.Tier2) > 1+tolerance {
+				g.NVMTolerant = false
+			}
+		}
+		// Cheapest tier within tolerance at the large size: prefer the
+		// most capacious acceptable tier (Tier 3 > Tier 2 > Tier 1 > 0).
+		g.Recommended = memsim.Tier0
+		for _, tier := range []memsim.TierID{memsim.Tier3, memsim.Tier2, memsim.Tier1} {
+			if c.Slowdown(w, workloads.Large, tier) <= 1+tolerance {
+				g.Recommended = tier
+				break
+			}
+		}
+		dramTiny := c.Results[CellKey{w, workloads.Tiny, memsim.Tier0}].DRAMEnergy.TotalJ
+		dramLarge := c.Results[CellKey{w, workloads.Large, memsim.Tier0}].DRAMEnergy.TotalJ
+		g.EnergyCheapScaling = dramLarge < 3*dramTiny
+
+		switch {
+		case g.Recommended != memsim.Tier0:
+			g.Rationale = fmt.Sprintf("tolerates %s within %.0f%% at large scale — deploy on cheap capacity", g.Recommended, tolerance*100)
+		case g.NVMTolerant:
+			g.Rationale = "NVM-tolerant at small scales only — keep large runs on DRAM"
+		default:
+			g.Rationale = fmt.Sprintf("latency-sensitive (Tier 2 costs %.0f%% at large) — pin to local DRAM",
+				(c.Slowdown(w, workloads.Large, memsim.Tier2)-1)*100)
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// GuidelinesTable renders the guidance.
+func GuidelinesTable(gs []Guideline) Table {
+	t := Table{
+		Title:   "Derived deployment guidelines (the paper's takeaways, regenerated from measurements)",
+		Headers: []string{"workload", "remote DRAM free", "NVM tolerant", "cheap energy scaling", "recommended tier", "rationale"},
+	}
+	yn := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	for _, g := range gs {
+		t.AddRow(g.Workload, yn(g.RemoteDRAMFree), yn(g.NVMTolerant),
+			yn(g.EnergyCheapScaling), g.Recommended.String(), g.Rationale)
+	}
+	return t
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/executor"
+	"repro/internal/hibench"
+	"repro/internal/memsim"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// PlacementPoint is one deployment of the placement study: a named
+// per-category tier assignment and its measured execution time.
+type PlacementPoint struct {
+	Name      string
+	Placement executor.Placement
+	Duration  sim.Time
+	// NVMShare is the fraction of media accesses that landed on DCPM
+	// tiers — the "how much cheap capacity did we actually use" axis.
+	NVMShare float64
+}
+
+// PlacementStudy explores the paper's §IV-G direction — "determining the
+// optimal memory tier per access type" — for one workload: it compares
+// all-DRAM and all-NVM membind against mixed placements that split heap,
+// shuffle and cache traffic between Tier 0 (scarce, fast DRAM) and Tier 2
+// (abundant, slow DCPM).
+type PlacementStudy struct {
+	Workload string
+	Size     workloads.Size
+	Points   []PlacementPoint
+}
+
+// StandardPlacements returns the deployments compared by the study.
+func StandardPlacements() []struct {
+	Name string
+	P    executor.Placement
+} {
+	t0, t2 := memsim.Tier0, memsim.Tier2
+	return []struct {
+		Name string
+		P    executor.Placement
+	}{
+		{"all-DRAM", executor.UniformPlacement(t0)},
+		{"all-NVM", executor.UniformPlacement(t2)},
+		{"heap-DRAM/shuffle-NVM", executor.Placement{Heap: t0, Shuffle: t2, Cache: t2}},
+		{"heap-NVM/shuffle-DRAM", executor.Placement{Heap: t2, Shuffle: t0, Cache: t0}},
+		{"cache-NVM", executor.Placement{Heap: t0, Shuffle: t0, Cache: t2}},
+	}
+}
+
+// RunPlacementStudy measures every standard placement for one workload.
+func RunPlacementStudy(workload string, size workloads.Size, seed int64) *PlacementStudy {
+	study := &PlacementStudy{Workload: workload, Size: size}
+	for _, sp := range StandardPlacements() {
+		p := sp.P
+		res := hibench.MustRun(hibench.RunSpec{
+			Workload: workload, Size: size, Tier: p.Heap,
+			Placement: &p, Seed: seed,
+		})
+		m := res.Metrics
+		total := float64(m.MediaReads + m.MediaWrites)
+		nvm := 0.0
+		if total > 0 {
+			nvm = float64(res.NVMCounters.MediaReads+res.NVMCounters.MediaWrites) / total
+		}
+		study.Points = append(study.Points, PlacementPoint{
+			Name:      sp.Name,
+			Placement: p,
+			Duration:  res.Duration,
+			NVMShare:  nvm,
+		})
+	}
+	return study
+}
+
+// Point returns a named deployment's measurement.
+func (s *PlacementStudy) Point(name string) PlacementPoint {
+	for _, p := range s.Points {
+		if p.Name == name {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("core: placement study has no point %q", name))
+}
+
+// Slowdown returns a named deployment's time over the all-DRAM time.
+func (s *PlacementStudy) Slowdown(name string) float64 {
+	return float64(s.Point(name).Duration) / float64(s.Point("all-DRAM").Duration)
+}
+
+// Table renders the study.
+func (s *PlacementStudy) Table() Table {
+	t := Table{
+		Title:   fmt.Sprintf("Placement study: %s/%s — tier per traffic category", s.Workload, s.Size),
+		Headers: []string{"placement", "heap", "shuffle", "cache", "time [s]", "vs all-DRAM", "NVM access share"},
+	}
+	for _, p := range s.Points {
+		t.AddRow(p.Name,
+			p.Placement.Heap.String(), p.Placement.Shuffle.String(), p.Placement.Cache.String(),
+			fmt.Sprintf("%.4f", p.Duration.Seconds()),
+			fmt.Sprintf("%.2fx", float64(p.Duration)/float64(s.Points[0].Duration)),
+			fmt.Sprintf("%.0f%%", p.NVMShare*100))
+	}
+	return t
+}
+
+// InterleavePoint is one step of the DRAM:NVM ratio sweep.
+type InterleavePoint struct {
+	// NVMFraction of heap traffic served by Tier 2.
+	NVMFraction float64
+	Duration    sim.Time
+	// Slowdown vs the all-DRAM endpoint.
+	Slowdown float64
+}
+
+// RunInterleaveSweep traces the classic tiering trade-off curve: heap
+// traffic split between local DRAM and local DCPM at increasing NVM
+// fractions (numactl --interleave / Memory-Mode-style weighted placement),
+// from the all-DRAM to the all-NVM endpoint.
+func RunInterleaveSweep(workload string, size workloads.Size, fractions []float64, seed int64) []InterleavePoint {
+	if fractions == nil {
+		fractions = []float64{0, 0.25, 0.5, 0.75, 1.0}
+	}
+	var out []InterleavePoint
+	var base sim.Time
+	for _, f := range fractions {
+		p := executor.Placement{
+			Heap: memsim.Tier0, Shuffle: memsim.Tier0, Cache: memsim.Tier0,
+			HeapSpill: memsim.Tier2, HeapSpillFrac: f,
+		}
+		res := hibench.MustRun(hibench.RunSpec{
+			Workload: workload, Size: size, Tier: memsim.Tier0,
+			Placement: &p, Seed: seed,
+		})
+		if len(out) == 0 {
+			base = res.Duration
+		}
+		out = append(out, InterleavePoint{
+			NVMFraction: f,
+			Duration:    res.Duration,
+			Slowdown:    float64(res.Duration) / float64(base),
+		})
+	}
+	return out
+}
+
+// InterleaveTable renders the ratio sweep.
+func InterleaveTable(workload string, size workloads.Size, points []InterleavePoint) Table {
+	t := Table{
+		Title:   fmt.Sprintf("Heap interleave sweep: %s/%s — DRAM:NVM ratio vs execution time", workload, size),
+		Headers: []string{"NVM fraction", "time [s]", "vs all-DRAM"},
+	}
+	for _, p := range points {
+		t.AddRow(
+			fmt.Sprintf("%.0f%%", p.NVMFraction*100),
+			fmt.Sprintf("%.4f", p.Duration.Seconds()),
+			fmt.Sprintf("%.2fx", p.Slowdown))
+	}
+	return t
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hibench"
+	"repro/internal/memsim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// PredictorKind names the model families compared by ComparePredictors —
+// the paper's §IV-F closes by suggesting "analytical models and/or Machine
+// Learning techniques"; we evaluate one of each.
+type PredictorKind string
+
+// The compared model families.
+const (
+	PredictorOLS PredictorKind = "ols"
+	PredictorKNN PredictorKind = "knn"
+)
+
+// PredictorScore is the leave-one-workload-out error of one model family.
+type PredictorScore struct {
+	Kind PredictorKind
+	// MAPE maps held-out workload -> mean absolute percentage error over
+	// its sizes x tiers.
+	MAPE map[string]float64
+	// Mean is the average MAPE across held-out workloads.
+	Mean float64
+}
+
+// ComparePredictors runs leave-one-workload-out evaluation of the linear
+// (OLS) advisor and a k-NN regressor over the same feature space and
+// observations. Workloads defaults to the paper's seven.
+func ComparePredictors(names []string, seed int64) []PredictorScore {
+	if names == nil {
+		names = workloads.Names()
+	}
+	type obs struct {
+		workload string
+		x        []float64
+		y        float64
+	}
+	var all []obs
+	specs := memsim.DefaultSpecs()
+	for _, w := range names {
+		for _, size := range workloads.AllSizes() {
+			profile := hibench.MustRun(hibench.RunSpec{
+				Workload: w, Size: size, Tier: memsim.Tier0, Seed: seed,
+			})
+			for _, tier := range memsim.AllTiers() {
+				y := hibench.MustRun(hibench.RunSpec{
+					Workload: w, Size: size, Tier: tier, Seed: seed,
+				}).Duration.Seconds()
+				all = append(all, obs{
+					workload: w,
+					x:        advisorFeatures(profile, specs[tier]),
+					y:        y,
+				})
+			}
+		}
+	}
+
+	evaluate := func(kind PredictorKind) PredictorScore {
+		score := PredictorScore{Kind: kind, MAPE: make(map[string]float64)}
+		for _, holdout := range names {
+			var trainX [][]float64
+			var trainY []float64
+			var testX [][]float64
+			var testY []float64
+			for _, o := range all {
+				if o.workload == holdout {
+					testX = append(testX, o.x)
+					testY = append(testY, o.y)
+				} else {
+					trainX = append(trainX, o.x)
+					trainY = append(trainY, o.y)
+				}
+			}
+			predict := fitPredictor(kind, trainX, trainY)
+			var ape float64
+			for i, x := range testX {
+				pred := predict(x)
+				ape += math.Abs(pred-testY[i]) / testY[i]
+			}
+			score.MAPE[holdout] = ape / float64(len(testX))
+		}
+		sum := 0.0
+		for _, v := range score.MAPE {
+			sum += v
+		}
+		score.Mean = sum / float64(len(score.MAPE))
+		return score
+	}
+	return []PredictorScore{evaluate(PredictorOLS), evaluate(PredictorKNN)}
+}
+
+// fitPredictor trains one model family and returns its prediction
+// function, flooring predictions at the profiled Tier 0 duration (feature
+// 0 of the advisor feature vector).
+func fitPredictor(kind PredictorKind, xs [][]float64, ys []float64) func([]float64) float64 {
+	switch kind {
+	case PredictorOLS:
+		fit := stats.FitOLS(xs, ys)
+		return func(x []float64) float64 {
+			pred := fit.Predict(x)
+			if pred < x[0] {
+				return x[0]
+			}
+			return pred
+		}
+	case PredictorKNN:
+		knn := stats.NewKNNRegressor(3)
+		knn.Fit(xs, ys)
+		return func(x []float64) float64 {
+			pred := knn.Predict(x)
+			if pred < x[0] {
+				return x[0]
+			}
+			return pred
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown predictor kind %q", kind))
+	}
+}
+
+// PredictorTable renders the comparison.
+func PredictorTable(scores []PredictorScore, names []string) Table {
+	if names == nil {
+		names = workloads.Names()
+	}
+	t := Table{
+		Title:   "§IV-F predictor comparison: leave-one-workload-out MAPE",
+		Headers: []string{"held-out workload"},
+	}
+	for _, s := range scores {
+		t.Headers = append(t.Headers, string(s.Kind))
+	}
+	for _, w := range names {
+		row := []string{w}
+		for _, s := range scores {
+			row = append(row, fmt.Sprintf("%.1f%%", s.MAPE[w]*100))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"mean"}
+	for _, s := range scores {
+		row = append(row, fmt.Sprintf("%.1f%%", s.Mean*100))
+	}
+	t.AddRow(row...)
+	return t
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hibench"
+	"repro/internal/memsim"
+	"repro/internal/workloads"
+)
+
+// WearReport projects Optane DCPM endurance consumption for a workload
+// run continuously on Tier 2 — the long-term cost behind the paper's
+// Takeaway 3 remark that increased writes "reduce the lifetime of
+// persistent memory".
+type WearReport struct {
+	Workload string
+	Size     workloads.Size
+	// WriteBytesPerSec is the sustained media write rate on the DCPM
+	// device group.
+	WriteBytesPerSec float64
+	// YearsToWearOut is the projected time until the group's endurance
+	// budget (capacity x rated cycles) is consumed at that rate.
+	YearsToWearOut float64
+}
+
+// ratedCycles mirrors the conservative endurance budget used by
+// memsim.Tier.WearFraction.
+const ratedCycles = 1e5
+
+// ProjectWear measures one workload's DCPM write rate and extrapolates
+// device lifetime under continuous operation.
+func ProjectWear(workload string, size workloads.Size, seed int64) WearReport {
+	res := hibench.MustRun(hibench.RunSpec{
+		Workload: workload, Size: size, Tier: memsim.Tier2, Seed: seed,
+	})
+	secs := res.Duration.Seconds()
+	rate := float64(res.NVMCounters.MediaWriteBytes) / secs
+	spec := memsim.DefaultSpecs()[memsim.Tier2]
+	budget := float64(spec.CapacityBytes) * ratedCycles
+	years := budget / rate / (365.25 * 24 * 3600)
+	return WearReport{
+		Workload:         workload,
+		Size:             size,
+		WriteBytesPerSec: rate,
+		YearsToWearOut:   years,
+	}
+}
+
+// WearTable renders projections for a set of workloads.
+func WearTable(size workloads.Size, seed int64, names []string) Table {
+	if names == nil {
+		names = workloads.Names()
+	}
+	t := Table{
+		Title:   fmt.Sprintf("Takeaway 3 extension: projected DCPM endurance under continuous %s runs", size),
+		Headers: []string{"workload", "media write rate", "projected lifetime"},
+	}
+	for _, w := range names {
+		r := ProjectWear(w, size, seed)
+		t.AddRow(w,
+			fmt.Sprintf("%.1f MB/s", r.WriteBytesPerSec/1e6),
+			fmt.Sprintf("%.0f years", r.YearsToWearOut))
+	}
+	return t
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/memsim"
+	"repro/internal/numa"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// WhatIfScenario swaps a hypothetical memory technology into the Tier 2
+// slot (the "capacity tier") and re-runs the characterization — the
+// paper's introduction motivates exactly this question for upcoming CXL
+// memory expanders and next-generation NVM.
+type WhatIfScenario struct {
+	Name string
+	// Description explains the modeled device.
+	Description string
+	// Spec replaces Tier 2 of the testbed.
+	Spec memsim.TierSpec
+}
+
+// WhatIfScenarios returns the modeled future capacity tiers, ordered from
+// the paper's baseline to the most aggressive.
+func WhatIfScenarios() []WhatIfScenario {
+	base := memsim.DefaultSpecs()[memsim.Tier2]
+
+	cxl := base
+	cxl.Name = "CXL DRAM expander"
+	cxl.Kind = memsim.DRAM
+	cxl.IdleLatencyNS = 180 // ~NUMA-hop-plus latency over CXL 2.0
+	cxl.BandwidthBytes = 28e9
+	cxl.WriteLatencyFactor = 1.05
+	cxl.WriteBandwidthFactor = 0.9
+	cxl.SeqWriteBandwidthFactor = 0.95
+	cxl.ContentionFactor = 0.08
+
+	gen2 := base
+	gen2.Name = "next-gen NVM"
+	gen2.IdleLatencyNS = base.IdleLatencyNS * 0.6
+	gen2.BandwidthBytes = base.BandwidthBytes * 2
+	gen2.WriteLatencyFactor = 1.6 // asymmetry halved
+	gen2.ContentionFactor = base.ContentionFactor * 0.6
+
+	return []WhatIfScenario{
+		{Name: "optane", Description: "the paper's Optane DCPM testbed (baseline)", Spec: base},
+		{Name: "cxl-dram", Description: "DRAM behind a CXL 2.0 expander (latency up, tech symmetric)", Spec: cxl},
+		{Name: "nvm-gen2", Description: "hypothetical next-gen NVM: 0.6x latency, 2x bandwidth, milder write asymmetry", Spec: gen2},
+	}
+}
+
+// WhatIfResult is one workload's capacity-tier slowdown under a scenario.
+type WhatIfResult struct {
+	Scenario string
+	Workload string
+	// Local is the Tier 0 (DRAM) time, identical across scenarios.
+	Local sim.Time
+	// Capacity is the time bound to the scenario's Tier 2 device.
+	Capacity sim.Time
+	// Slowdown is Capacity/Local.
+	Slowdown float64
+}
+
+// RunWhatIf measures every scenario x workload at the given size.
+func RunWhatIf(names []string, size workloads.Size, seed int64) []WhatIfResult {
+	if names == nil {
+		names = workloads.Names()
+	}
+	var out []WhatIfResult
+	for _, sc := range WhatIfScenarios() {
+		specs := memsim.DefaultSpecs()
+		sc.Spec.ID = memsim.Tier2
+		specs[memsim.Tier2] = sc.Spec
+		for _, w := range names {
+			local := runOnSpecs(w, size, memsim.Tier0, &specs, seed)
+			capacity := runOnSpecs(w, size, memsim.Tier2, &specs, seed)
+			out = append(out, WhatIfResult{
+				Scenario: sc.Name,
+				Workload: w,
+				Local:    local,
+				Capacity: capacity,
+				Slowdown: float64(capacity) / float64(local),
+			})
+		}
+	}
+	return out
+}
+
+func runOnSpecs(workload string, size workloads.Size, tier memsim.TierID,
+	specs *[memsim.NumTiers]memsim.TierSpec, seed int64) sim.Time {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		panic(err)
+	}
+	conf := cluster.DefaultConf()
+	conf.Binding = numa.BindingForTier(tier)
+	conf.TierSpecs = specs
+	conf.DefaultParallelism = 80
+	conf.Seed = seed
+	app := cluster.New(conf)
+	w.Run(app, size)
+	return app.Elapsed()
+}
+
+// WhatIfTable renders the scenario comparison.
+func WhatIfTable(results []WhatIfResult) Table {
+	t := Table{
+		Title:   "What-if: capacity-tier technologies in the Tier 2 slot (slowdown vs local DRAM)",
+		Headers: []string{"workload"},
+	}
+	order := []string{}
+	cols := map[string]map[string]WhatIfResult{}
+	for _, r := range results {
+		if _, ok := cols[r.Scenario]; !ok {
+			cols[r.Scenario] = map[string]WhatIfResult{}
+			order = append(order, r.Scenario)
+			t.Headers = append(t.Headers, r.Scenario)
+		}
+		cols[r.Scenario][r.Workload] = r
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		if seen[r.Workload] {
+			continue
+		}
+		seen[r.Workload] = true
+		row := []string{r.Workload}
+		for _, sc := range order {
+			row = append(row, fmt.Sprintf("%.2fx", cols[sc][r.Workload].Slowdown))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/workloads"
+)
+
+func TestWhatIfScenariosWellFormed(t *testing.T) {
+	scs := WhatIfScenarios()
+	if len(scs) < 3 {
+		t.Fatalf("scenarios = %d, want >= 3", len(scs))
+	}
+	if scs[0].Name != "optane" {
+		t.Fatal("first scenario must be the paper baseline")
+	}
+	for _, sc := range scs {
+		spec := sc.Spec
+		spec.ID = memsim.Tier2
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s spec invalid: %v", sc.Name, err)
+		}
+		if sc.Description == "" {
+			t.Errorf("%s has no description", sc.Name)
+		}
+	}
+}
+
+// Future capacity tiers must close the DRAM/DCPM gap: both modeled
+// technologies beat Optane, for every workload, and the baseline scenario
+// reproduces the unmodified characterization.
+func TestWhatIfClosesTheGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("what-if sweep skipped in -short")
+	}
+	names := []string{"lda", "pagerank"}
+	results := RunWhatIf(names, workloads.Large, 1)
+	byKey := map[[2]string]WhatIfResult{}
+	for _, r := range results {
+		byKey[[2]string{r.Scenario, r.Workload}] = r
+	}
+	for _, w := range names {
+		base := byKey[[2]string{"optane", w}]
+		cxl := byKey[[2]string{"cxl-dram", w}]
+		gen2 := byKey[[2]string{"nvm-gen2", w}]
+		t.Logf("%s: optane %.2fx, cxl %.2fx, gen2 %.2fx", w, base.Slowdown, cxl.Slowdown, gen2.Slowdown)
+		if base.Slowdown <= 1 {
+			t.Errorf("%s baseline slowdown %.2f not > 1", w, base.Slowdown)
+		}
+		if cxl.Slowdown >= base.Slowdown {
+			t.Errorf("%s: CXL DRAM (%.2fx) should beat Optane (%.2fx)", w, cxl.Slowdown, base.Slowdown)
+		}
+		if gen2.Slowdown >= base.Slowdown {
+			t.Errorf("%s: next-gen NVM (%.2fx) should beat Optane (%.2fx)", w, gen2.Slowdown, base.Slowdown)
+		}
+		// Local DRAM time is scenario-independent.
+		if base.Local != cxl.Local || base.Local != gen2.Local {
+			t.Errorf("%s: Tier 0 time varies across scenarios", w)
+		}
+	}
+	tbl := WhatIfTable(results)
+	if len(tbl.Rows) != len(names) {
+		t.Fatalf("table rows = %d, want %d", len(tbl.Rows), len(names))
+	}
+	if len(tbl.Headers) != 4 {
+		t.Fatalf("table headers = %d, want workload + 3 scenarios", len(tbl.Headers))
+	}
+}
+
+// Write-heavy lda must wear the DCPM group much faster than compute-bound
+// als, and projected lifetimes must be physically positive.
+func TestWearProjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wear projection skipped in -short")
+	}
+	lda := ProjectWear("lda", workloads.Large, 1)
+	als := ProjectWear("als", workloads.Large, 1)
+	t.Logf("lda: %.1f MB/s -> %.0f years; als: %.1f MB/s -> %.0f years",
+		lda.WriteBytesPerSec/1e6, lda.YearsToWearOut, als.WriteBytesPerSec/1e6, als.YearsToWearOut)
+	if lda.WriteBytesPerSec <= als.WriteBytesPerSec {
+		t.Error("lda must write faster than als")
+	}
+	if lda.YearsToWearOut >= als.YearsToWearOut {
+		t.Error("lda must wear the device out sooner than als")
+	}
+	for _, r := range []WearReport{lda, als} {
+		if r.YearsToWearOut <= 0 || r.WriteBytesPerSec <= 0 {
+			t.Errorf("%s projection non-physical: %+v", r.Workload, r)
+		}
+	}
+	tbl := WearTable(workloads.Tiny, 1, []string{"als"})
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("wear table rows = %d", len(tbl.Rows))
+	}
+}
+
+// The headline conclusion must be robust: under every ±20% knob
+// perturbation the tier ordering holds and the Tier 2 gap stays within a
+// moderate band of the baseline.
+func TestSensitivityRobustConclusions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity analysis skipped in -short")
+	}
+	results := RunSensitivity([]string{"repartition", "bayes"}, workloads.Small, 1)
+	var baseline float64
+	for _, r := range results {
+		if r.Knob == "baseline" {
+			baseline = r.T2Geomean
+		}
+	}
+	if baseline <= 1.05 {
+		t.Fatalf("baseline T2 geomean %.2f too small to analyze", baseline)
+	}
+	for _, r := range results {
+		t.Logf("%-18s x%.1f: T2 %.2fx ordering=%v", r.Knob, r.Scale, r.T2Geomean, r.OrderingHolds)
+		if !r.OrderingHolds {
+			t.Errorf("%s x%.1f broke the tier ordering", r.Knob, r.Scale)
+		}
+		rel := r.T2Geomean / baseline
+		if rel < 0.75 || rel > 1.35 {
+			t.Errorf("%s x%.1f moved the T2 gap by %.0f%%; conclusions too knob-sensitive",
+				r.Knob, r.Scale, (rel-1)*100)
+		}
+		if r.T2Geomean <= 1.0 {
+			t.Errorf("%s x%.1f erased the DRAM/DCPM gap entirely", r.Knob, r.Scale)
+		}
+	}
+	tbl := SensitivityTable(results)
+	if len(tbl.Rows) != len(results) {
+		t.Fatalf("table rows = %d", len(tbl.Rows))
+	}
+}
+
+// Across different input seeds (different generated datasets of the same
+// size), execution times vary only mildly: the tier conclusions are not
+// dataset luck.
+func TestVarianceAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("variance study skipped in -short")
+	}
+	cells := RunVarianceStudy([]string{"repartition", "bayes", "pagerank"},
+		workloads.Small, []int64{1, 2, 3})
+	if len(cells) != 3*4 {
+		t.Fatalf("cells = %d, want 12", len(cells))
+	}
+	for _, c := range cells {
+		t.Logf("%s %v: %.4fs ± %.1f%%", c.Workload, c.Tier, c.MeanSec, c.CV*100)
+		if c.N != 3 || c.MeanSec <= 0 {
+			t.Fatalf("malformed cell %+v", c)
+		}
+	}
+	if worst := MaxCV(cells); worst > 0.15 {
+		t.Errorf("worst CV %.1f%% across seeds; conclusions too dataset-dependent", worst*100)
+	}
+	tbl := VarianceTable(cells)
+	if len(tbl.Rows) != len(cells) {
+		t.Fatalf("table rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestReproduceNarrowed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reproduce smoke skipped in -short")
+	}
+	var buf bytes.Buffer
+	var steps []string
+	Reproduce(&buf, ReproduceOptions{
+		Workloads:   []string{"als", "pagerank"},
+		SkipScaling: true,
+		Progress:    func(s string) { steps = append(steps, s) },
+	})
+	out := buf.String()
+	for _, want := range []string{
+		"Table I", "Table II", "Figure 2", "Figure 3", "Figure 5",
+		"Figure 6", "predictor", "placement", "what-if",
+	} {
+		if !strings.Contains(strings.ToLower(out), strings.ToLower(want)) {
+			t.Errorf("report missing section %q", want)
+		}
+	}
+	if len(steps) < 8 {
+		t.Errorf("progress callbacks = %d, want >= 8 (%v)", len(steps), steps)
+	}
+	if strings.Contains(out, "Figure 4") {
+		t.Error("Figure 4 rendered despite SkipScaling")
+	}
+}

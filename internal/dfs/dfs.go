@@ -1,0 +1,247 @@
+// Package dfs implements a miniature Hadoop Distributed File System: a
+// namenode holding the namespace and block locations, datanodes holding
+// replicated fixed-size blocks, and client read/write paths. The paper's
+// testbed stores Spark input/output on HDFS; here the engine's sources and
+// sinks stream through dfs so scan and write costs flow through the same
+// charging paths as everything else.
+//
+// dfs is a pure data structure: byte movement is charged by the caller
+// (the RDD source / sink) which knows the executor's memory binding.
+package dfs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultBlockSize mirrors HDFS's 128 MiB default, scaled 1/64 to suit the
+// simulator's scaled datasets (2 MiB).
+const DefaultBlockSize = 2 << 20
+
+// DefaultReplication is HDFS's default replication factor.
+const DefaultReplication = 3
+
+// BlockID names one block of one file.
+type BlockID struct {
+	FileID int
+	Index  int
+}
+
+// String renders like "blk_3_0".
+func (b BlockID) String() string { return fmt.Sprintf("blk_%d_%d", b.FileID, b.Index) }
+
+// Block is a stored chunk of a file.
+type Block struct {
+	ID   BlockID
+	Data []byte
+	// Replicas lists the datanodes holding the block, primary first.
+	Replicas []int
+}
+
+// fileMeta is the namenode's record of one file.
+type fileMeta struct {
+	id     int
+	path   string
+	size   int64
+	blocks []BlockID
+}
+
+// DataNode stores block replicas.
+type DataNode struct {
+	ID     int
+	blocks map[BlockID][]byte
+	used   int64
+}
+
+// Used returns the bytes stored on the node.
+func (d *DataNode) Used() int64 { return d.used }
+
+// NumBlocks returns the replica count held.
+func (d *DataNode) NumBlocks() int { return len(d.blocks) }
+
+// FileSystem is the namenode plus its datanodes.
+type FileSystem struct {
+	blockSize   int64
+	replication int
+	nodes       []*DataNode
+	files       map[string]*fileMeta
+	blocks      map[BlockID]*Block
+	nextFile    int
+	nextNode    int // round-robin placement cursor
+}
+
+// New creates a filesystem with n datanodes. blockSize/replication <= 0
+// select the defaults; replication is capped at the node count.
+func New(nodes int, blockSize int64, replication int) *FileSystem {
+	if nodes <= 0 {
+		panic(fmt.Sprintf("dfs: %d datanodes", nodes))
+	}
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	if replication <= 0 {
+		replication = DefaultReplication
+	}
+	if replication > nodes {
+		replication = nodes
+	}
+	fs := &FileSystem{
+		blockSize:   blockSize,
+		replication: replication,
+		files:       make(map[string]*fileMeta),
+		blocks:      make(map[BlockID]*Block),
+	}
+	for i := 0; i < nodes; i++ {
+		fs.nodes = append(fs.nodes, &DataNode{ID: i, blocks: make(map[BlockID][]byte)})
+	}
+	return fs
+}
+
+// BlockSize returns the filesystem block size.
+func (fs *FileSystem) BlockSize() int64 { return fs.blockSize }
+
+// Replication returns the effective replication factor.
+func (fs *FileSystem) Replication() int { return fs.replication }
+
+// NumDataNodes returns the cluster size.
+func (fs *FileSystem) NumDataNodes() int { return len(fs.nodes) }
+
+// DataNodeStats returns (used bytes, replica count) per node.
+func (fs *FileSystem) DataNodeStats() []struct {
+	Used   int64
+	Blocks int
+} {
+	out := make([]struct {
+		Used   int64
+		Blocks int
+	}, len(fs.nodes))
+	for i, n := range fs.nodes {
+		out[i].Used = n.used
+		out[i].Blocks = n.NumBlocks()
+	}
+	return out
+}
+
+// Create writes a file from data, splitting into blocks and replicating
+// across datanodes round-robin. Overwriting an existing path fails like
+// HDFS (write-once semantics).
+func (fs *FileSystem) Create(path string, data []byte) error {
+	if path == "" {
+		return fmt.Errorf("dfs: empty path")
+	}
+	if _, exists := fs.files[path]; exists {
+		return fmt.Errorf("dfs: %s already exists (HDFS is write-once)", path)
+	}
+	meta := &fileMeta{id: fs.nextFile, path: path, size: int64(len(data))}
+	fs.nextFile++
+	for off, idx := int64(0), 0; off < int64(len(data)) || (off == 0 && len(data) == 0); idx++ {
+		end := off + fs.blockSize
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		id := BlockID{FileID: meta.id, Index: idx}
+		chunk := append([]byte(nil), data[off:end]...)
+		blk := &Block{ID: id, Data: chunk}
+		for r := 0; r < fs.replication; r++ {
+			node := fs.nodes[(fs.nextNode+r)%len(fs.nodes)]
+			node.blocks[id] = chunk
+			node.used += int64(len(chunk))
+			blk.Replicas = append(blk.Replicas, node.ID)
+		}
+		fs.nextNode = (fs.nextNode + 1) % len(fs.nodes)
+		fs.blocks[id] = blk
+		meta.blocks = append(meta.blocks, id)
+		off = end
+		if len(data) == 0 {
+			break
+		}
+	}
+	fs.files[path] = meta
+	return nil
+}
+
+// Exists reports whether the path is present.
+func (fs *FileSystem) Exists(path string) bool {
+	_, ok := fs.files[path]
+	return ok
+}
+
+// Size returns a file's length in bytes.
+func (fs *FileSystem) Size(path string) (int64, error) {
+	m, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("dfs: %s not found", path)
+	}
+	return m.size, nil
+}
+
+// Blocks returns a file's block ids in order.
+func (fs *FileSystem) Blocks(path string) ([]BlockID, error) {
+	m, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("dfs: %s not found", path)
+	}
+	return append([]BlockID(nil), m.blocks...), nil
+}
+
+// ReadBlock fetches one block's payload (from its primary replica).
+func (fs *FileSystem) ReadBlock(id BlockID) ([]byte, error) {
+	blk, ok := fs.blocks[id]
+	if !ok {
+		return nil, fmt.Errorf("dfs: block %s not found", id)
+	}
+	return blk.Data, nil
+}
+
+// Read returns a whole file's contents by concatenating its blocks.
+func (fs *FileSystem) Read(path string) ([]byte, error) {
+	m, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("dfs: %s not found", path)
+	}
+	out := make([]byte, 0, m.size)
+	for _, id := range m.blocks {
+		out = append(out, fs.blocks[id].Data...)
+	}
+	return out, nil
+}
+
+// Delete removes a file and frees its replicas.
+func (fs *FileSystem) Delete(path string) error {
+	m, ok := fs.files[path]
+	if !ok {
+		return fmt.Errorf("dfs: %s not found", path)
+	}
+	for _, id := range m.blocks {
+		blk := fs.blocks[id]
+		for _, nodeID := range blk.Replicas {
+			node := fs.nodes[nodeID]
+			if data, held := node.blocks[id]; held {
+				node.used -= int64(len(data))
+				delete(node.blocks, id)
+			}
+		}
+		delete(fs.blocks, id)
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+// List returns all paths in lexical order.
+func (fs *FileSystem) List() []string {
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalUsed returns the cluster-wide stored bytes (including replication).
+func (fs *FileSystem) TotalUsed() int64 {
+	var t int64
+	for _, n := range fs.nodes {
+		t += n.used
+	}
+	return t
+}

@@ -1,0 +1,171 @@
+package dfs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateReadRoundtrip(t *testing.T) {
+	fs := New(4, 1024, 2)
+	data := bytes.Repeat([]byte("hibench!"), 1000) // 8000 bytes -> 8 blocks
+	if err := fs.Create("/input/sort.dat", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("/input/sort.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read data differs from written data")
+	}
+	if sz, _ := fs.Size("/input/sort.dat"); sz != 8000 {
+		t.Fatalf("size = %d, want 8000", sz)
+	}
+	blocks, _ := fs.Blocks("/input/sort.dat")
+	if len(blocks) != 8 {
+		t.Fatalf("blocks = %d, want 8 (1024B each)", len(blocks))
+	}
+}
+
+func TestWriteOnceSemantics(t *testing.T) {
+	fs := New(2, 0, 0)
+	if err := fs.Create("/a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/a", []byte("y")); err == nil {
+		t.Fatal("overwrite accepted; HDFS is write-once")
+	}
+	if err := fs.Create("", nil); err == nil {
+		t.Fatal("empty path accepted")
+	}
+}
+
+func TestReplicationFactor(t *testing.T) {
+	fs := New(5, 100, 3)
+	fs.Create("/f", make([]byte, 250)) // 3 blocks
+	blocks, _ := fs.Blocks("/f")
+	for _, id := range blocks {
+		blk, err := fs.ReadBlock(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(blk) == 0 {
+			t.Fatal("empty block payload")
+		}
+	}
+	// Each block replicated 3x: total = 250 * 3.
+	if fs.TotalUsed() != 750 {
+		t.Fatalf("total used = %d, want 750", fs.TotalUsed())
+	}
+}
+
+func TestReplicationCappedAtNodes(t *testing.T) {
+	fs := New(2, 0, 5)
+	if fs.Replication() != 2 {
+		t.Fatalf("replication = %d, want capped at 2", fs.Replication())
+	}
+}
+
+func TestBlockPlacementSpreads(t *testing.T) {
+	fs := New(4, 64, 1)
+	fs.Create("/big", make([]byte, 64*8)) // 8 blocks over 4 nodes
+	stats := fs.DataNodeStats()
+	for i, s := range stats {
+		if s.Blocks != 2 {
+			t.Fatalf("node %d holds %d blocks, want 2 (round-robin)", i, s.Blocks)
+		}
+	}
+}
+
+func TestDeleteFreesSpace(t *testing.T) {
+	fs := New(3, 128, 2)
+	fs.Create("/tmp1", make([]byte, 500))
+	if err := fs.Delete("/tmp1"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.TotalUsed() != 0 {
+		t.Fatalf("used = %d after delete", fs.TotalUsed())
+	}
+	if fs.Exists("/tmp1") {
+		t.Fatal("file still listed")
+	}
+	if err := fs.Delete("/tmp1"); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	fs := New(2, 0, 0)
+	if err := fs.Create("/empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("/empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty file read %d bytes", len(got))
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	fs := New(2, 0, 0)
+	fs.Create("/b", nil)
+	fs.Create("/a", nil)
+	fs.Create("/c", nil)
+	got := fs.List()
+	if len(got) != 3 || got[0] != "/a" || got[2] != "/c" {
+		t.Fatalf("list = %v", got)
+	}
+}
+
+func TestMissingPathsError(t *testing.T) {
+	fs := New(1, 0, 0)
+	if _, err := fs.Read("/nope"); err == nil {
+		t.Error("read of missing file succeeded")
+	}
+	if _, err := fs.Size("/nope"); err == nil {
+		t.Error("size of missing file succeeded")
+	}
+	if _, err := fs.Blocks("/nope"); err == nil {
+		t.Error("blocks of missing file succeeded")
+	}
+	if _, err := fs.ReadBlock(BlockID{9, 9}); err == nil {
+		t.Error("read of missing block succeeded")
+	}
+}
+
+func TestZeroNodesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero datanodes did not panic")
+		}
+	}()
+	New(0, 0, 0)
+}
+
+// Property: any payload round-trips through create/read, and total used
+// space is size x replication.
+func TestRoundtripProperty(t *testing.T) {
+	prop := func(data []byte, nodes, repl uint8) bool {
+		n := int(nodes%6) + 1
+		r := int(repl%4) + 1
+		fs := New(n, 64, r)
+		if err := fs.Create("/p", data); err != nil {
+			return false
+		}
+		got, err := fs.Read("/p")
+		if err != nil || !bytes.Equal(got, data) {
+			return false
+		}
+		eff := r
+		if eff > n {
+			eff = n
+		}
+		return fs.TotalUsed() == int64(len(data)*eff)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,254 @@
+package executor
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/blockmgr"
+	"repro/internal/memsim"
+	"repro/internal/shuffle"
+)
+
+// Placement routes the engine's memory traffic categories to tiers. The
+// paper binds everything to one tier (numactl membind); the placement
+// extension explores the §IV-G direction of "the optimal memory tier per
+// access type": executor heap (operator working set), shuffle storage and
+// the RDD cache can live on different tiers.
+type Placement struct {
+	// Heap backs operator working sets: sources, hash aggregations,
+	// broadcasts, result serialization.
+	Heap memsim.TierID
+	// Shuffle backs map-output segments (write and fetch).
+	Shuffle memsim.TierID
+	// Cache backs persisted RDD partitions.
+	Cache memsim.TierID
+
+	// HeapSpill, with HeapSpillFrac > 0, splits heap traffic between two
+	// tiers the way numactl --interleave (or Optane Memory Mode's
+	// DRAM-as-cache, to first order) does: HeapSpillFrac of every heap
+	// burst is served by HeapSpill, the rest by Heap. Sweeping the
+	// fraction traces the classic "how much DRAM do we actually need"
+	// curve between the all-DRAM and all-NVM endpoints.
+	HeapSpill     memsim.TierID
+	HeapSpillFrac float64
+}
+
+// UniformPlacement is the paper's membind: every category on one tier.
+func UniformPlacement(tier memsim.TierID) Placement {
+	return Placement{Heap: tier, Shuffle: tier, Cache: tier}
+}
+
+// Validate rejects out-of-range tiers and spill fractions.
+func (p Placement) Validate() error {
+	for _, tier := range []memsim.TierID{p.Heap, p.Shuffle, p.Cache} {
+		if !tier.Valid() {
+			return errInvalidTier(tier)
+		}
+	}
+	if p.HeapSpillFrac < 0 || p.HeapSpillFrac > 1 {
+		return fmt.Errorf("executor: heap spill fraction %v out of [0,1]", p.HeapSpillFrac)
+	}
+	if p.HeapSpillFrac > 0 && !p.HeapSpill.Valid() {
+		return errInvalidTier(p.HeapSpill)
+	}
+	return nil
+}
+
+func errInvalidTier(t memsim.TierID) error {
+	return &placementError{tier: t}
+}
+
+type placementError struct{ tier memsim.TierID }
+
+func (e *placementError) Error() string {
+	return "executor: placement references invalid tier " + e.tier.String()
+}
+
+// TaskContext is handed to every task's computation. It carries the
+// executor placement, the charging API that turns real data movement into
+// a cost Profile (and tier counters), and handles to the storage layers.
+type TaskContext struct {
+	// ExecID is the executor this task is assigned to.
+	ExecID int
+	// Partition is the task's partition index within its stage.
+	Partition int
+	// Heap, ShuffleTier and CacheTier are the memory tiers serving each
+	// traffic category per the application's placement.
+	Heap        *memsim.Tier
+	ShuffleTier *memsim.Tier
+	CacheTier   *memsim.Tier
+	// HeapSpill, with HeapSpillFrac > 0, receives that fraction of every
+	// heap burst (interleaved allocation).
+	HeapSpill     *memsim.Tier
+	HeapSpillFrac float64
+	// Cost is the cost model in effect.
+	Cost CostModel
+	// Blocks is the executor-local block manager (RDD cache).
+	Blocks *blockmgr.Manager
+	// Shuffle is the application-wide shuffle store.
+	Shuffle *shuffle.Store
+	// Rand is a task-seeded PRNG for workloads that sample.
+	Rand *rand.Rand
+
+	profile Profile
+	seen    map[uint64]struct{}
+}
+
+// NewTaskContext builds a context with all categories on one tier; rand is
+// seeded from (seed, partition) so reruns are bit-identical.
+func NewTaskContext(execID, partition int, tier *memsim.Tier, cost CostModel,
+	blocks *blockmgr.Manager, shuf *shuffle.Store, seed int64) *TaskContext {
+	return NewPlacedTaskContext(execID, partition, tier, tier, tier, cost, blocks, shuf, seed)
+}
+
+// NewPlacedTaskContext builds a context with per-category tiers.
+func NewPlacedTaskContext(execID, partition int, heap, shufTier, cacheTier *memsim.Tier,
+	cost CostModel, blocks *blockmgr.Manager, shuf *shuffle.Store, seed int64) *TaskContext {
+	return &TaskContext{
+		ExecID:      execID,
+		Partition:   partition,
+		Heap:        heap,
+		ShuffleTier: shufTier,
+		CacheTier:   cacheTier,
+		Cost:        cost,
+		Blocks:      blocks,
+		Shuffle:     shuf,
+		Rand:        rand.New(rand.NewSource(seed*1_000_003 + int64(partition))),
+	}
+}
+
+// Tier returns the heap tier (the paper's single membind target).
+func (c *TaskContext) Tier() *memsim.Tier { return c.Heap }
+
+// Once reports whether this is the first call with the given key in this
+// task, letting callers charge per-task costs (broadcast fetches) exactly
+// once however many times a value is touched.
+func (c *TaskContext) Once(key uint64) bool {
+	if c.seen == nil {
+		c.seen = make(map[uint64]struct{})
+	}
+	if _, ok := c.seen[key]; ok {
+		return false
+	}
+	c.seen[key] = struct{}{}
+	return true
+}
+
+// Profile returns the accumulated cost footprint.
+func (c *TaskContext) Profile() Profile { return c.profile }
+
+// CPU charges pure compute time in nanoseconds.
+func (c *TaskContext) CPU(ns float64) {
+	if ns > 0 {
+		c.profile.CPUNS += ns
+	}
+}
+
+// CPUPerRecord charges n records at the given per-record cost.
+func (c *TaskContext) CPUPerRecord(n int, perRecordNS float64) {
+	if n > 0 && perRecordNS > 0 {
+		c.profile.CPUNS += float64(n) * perRecordNS
+	}
+}
+
+// seqOn charges a sequential burst on an arbitrary tier.
+func (c *TaskContext) seqOn(t *memsim.Tier, op memsim.Op, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	lines := t.RecordBurst(op, memsim.Sequential, bytes, 1)
+	tc := &c.profile.Tiers[t.Spec.ID]
+	tc.StallLines[op] += float64(lines) * memsim.Sequential.LatencyExposure()
+	tc.SeqBytes[op] += lines * t.Spec.Kind.LineSize()
+}
+
+// randOn charges a scattered burst on an arbitrary tier, applying the
+// cost model's ObjectChurn factor (JVM object-graph traffic rides along
+// with each logical record access).
+func (c *TaskContext) randOn(t *memsim.Tier, op memsim.Op, items int, bytes int64) {
+	if items <= 0 || bytes <= 0 {
+		return
+	}
+	if churn := c.Cost.ObjectChurn; churn > 1 {
+		items *= churn
+		bytes *= int64(churn)
+	}
+	lines := t.RecordBurst(op, memsim.Random, bytes, int64(items))
+	tc := &c.profile.Tiers[t.Spec.ID]
+	tc.StallLines[op] += float64(lines) * memsim.Random.LatencyExposure()
+	tc.RandBytes[op] += lines * t.Spec.Kind.LineSize()
+}
+
+// MemSeq charges a sequential (streaming) burst on the heap tier (split
+// with the spill tier when heap interleaving is configured): counters are
+// updated on the tier, a prefetch-hidden fraction of line latency goes to
+// the stall budget, and the media bytes go to the bandwidth budget.
+func (c *TaskContext) MemSeq(op memsim.Op, bytes int64) {
+	if c.HeapSpillFrac > 0 && c.HeapSpill != nil {
+		spill := int64(float64(bytes) * c.HeapSpillFrac)
+		c.seqOn(c.HeapSpill, op, spill)
+		c.seqOn(c.Heap, op, bytes-spill)
+		return
+	}
+	c.seqOn(c.Heap, op, bytes)
+}
+
+// MemRand charges `items` scattered accesses moving `bytes` in total on
+// the heap tier (split with the spill tier when heap interleaving is
+// configured). Every item pays full loaded line latency; small items
+// amplify media traffic.
+func (c *TaskContext) MemRand(op memsim.Op, items int, bytes int64) {
+	if c.HeapSpillFrac > 0 && c.HeapSpill != nil {
+		spillItems := int(float64(items) * c.HeapSpillFrac)
+		spillBytes := int64(float64(bytes) * c.HeapSpillFrac)
+		c.randOn(c.HeapSpill, op, spillItems, spillBytes)
+		c.randOn(c.Heap, op, items-spillItems, bytes-spillBytes)
+		return
+	}
+	c.randOn(c.Heap, op, items, bytes)
+}
+
+// ShuffleSeq charges a streaming burst against the shuffle tier (segment
+// writes and fetch streams).
+func (c *TaskContext) ShuffleSeq(op memsim.Op, bytes int64) { c.seqOn(c.ShuffleTier, op, bytes) }
+
+// ShuffleRand charges scattered accesses against the shuffle tier (bucket
+// headers, remote fetch metadata).
+func (c *TaskContext) ShuffleRand(op memsim.Op, items int, bytes int64) {
+	c.randOn(c.ShuffleTier, op, items, bytes)
+}
+
+// CacheSeq charges a streaming burst against the RDD-cache tier.
+func (c *TaskContext) CacheSeq(op memsim.Op, bytes int64) { c.seqOn(c.CacheTier, op, bytes) }
+
+// Disk charges a blocking HDFS disk transfer of the given size — a stall
+// on a memory-tier-independent resource, so it lands in the CPU budget.
+func (c *TaskContext) Disk(bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	bw := c.Cost.DiskBWBytes
+	if bw <= 0 {
+		bw = 2e9
+	}
+	c.CPU(float64(bytes) / bw * 1e9)
+}
+
+// ReadShuffleSegment charges the cost of opening and draining one shuffle
+// segment. Remote segments (written by another executor) pay the
+// co-operation overhead: extra CPU, a metadata round trip and the full
+// data transfer as sequential reads from the shuffle tier.
+func (c *TaskContext) ReadShuffleSegment(seg *shuffle.Segment) {
+	if seg == nil {
+		return
+	}
+	c.CPU(c.Cost.SegmentOpenNS)
+	if seg.ExecID != c.ExecID {
+		c.CPU(c.Cost.RemoteSegmentNS)
+		c.ShuffleRand(memsim.Read, 1, c.Cost.SegmentMetaBytes)
+	}
+	if seg.Bytes > 0 {
+		c.ShuffleSeq(memsim.Read, seg.Bytes)
+		c.CPU(float64(seg.Bytes) * c.Cost.SerDePerB)
+	}
+}

@@ -1,0 +1,97 @@
+// Package executor models Spark executors: computing units with a fixed
+// number of cores, bound to a compute socket and a memory tier. It provides
+// the task cost model (how real data movement translates into virtual time)
+// and the discrete-event stage simulator that turns per-task cost profiles
+// into a stage makespan under core and memory-channel contention.
+package executor
+
+// CostModel holds the per-operation CPU costs and engine overheads used to
+// convert work done by tasks into virtual nanoseconds. The values are
+// calibrated so that, on Tier 0, the studied workloads spend roughly half
+// of their time in memory stalls — the regime in which the paper's testbed
+// operates — and are deliberately centralized here so ablation benchmarks
+// can perturb them.
+type CostModel struct {
+	// Per-record CPU costs (ns) for the common dataflow operators.
+	MapNS       float64 // apply a user function to one record
+	FilterNS    float64 // evaluate a predicate
+	HashNS      float64 // hash a key (partitioning, aggregation)
+	CompareNS   float64 // one comparison during sorting
+	ReduceNS    float64 // one combine step of an aggregation
+	SerDePerB   float64 // serialize/deserialize, per byte
+	GeneratePNS float64 // produce one synthetic input record
+
+	// Floating-point work for the ML kernels, per scalar operation.
+	FlopNS float64
+
+	// ObjectChurn multiplies the item count of scattered (random) memory
+	// bursts, modeling the JVM's object-graph traffic: every logical
+	// record access on Spark drags along object headers, boxed fields and
+	// hash-bucket pointer chases. It applies uniformly, so per-workload
+	// access ratios are unchanged.
+	ObjectChurn int
+
+	// Engine overheads.
+	TaskDispatchNS   float64 // driver->executor scheduling per task
+	StageOverheadNS  float64 // DAG scheduler work per stage
+	JobOverheadNS    float64 // job submission/result collection
+	ExecStartupNS    float64 // per-executor CPU cost of JVM spin-up
+	ExecStartupBytes int64   // per-executor heap init written to its tier
+	// ExecLaunchSerialNS is the driver-side serial cost of launching each
+	// executor (registration round trips): more executors, longer launch.
+	ExecLaunchSerialNS float64
+
+	// AllocContentionFactor models JVM allocator/GC serialization inside
+	// one executor: tasks that churn scattered objects (hash aggregations)
+	// contend on the shared heap, and the contention grows with the
+	// executor's core count. A task's CPU time is inflated by
+	// AllocContentionFactor x (cores-1)/39 x randShare, where randShare is
+	// the scattered fraction of its media traffic. This is the "fat vs
+	// skinny executor" force of the paper's §IV-E: splitting a fat
+	// executor relieves heap contention (helping large, aggregation-heavy
+	// workloads) at the price of executor co-operation overheads (hurting
+	// small ones).
+	AllocContentionFactor float64
+
+	// DiskBWBytes is the HDFS datanode streaming bandwidth (bytes/s).
+	// HDFS input/output lives on disk in the paper's testbed, so its
+	// transfer time is memory-tier independent.
+	DiskBWBytes float64
+
+	// Shuffle fetch costs: every reduce task opens one segment per map
+	// task; segments living on a different executor pay the remote
+	// overhead (connection, extra copies) — this is the "executor
+	// co-operation" traffic of Takeaway 6.
+	SegmentOpenNS    float64
+	RemoteSegmentNS  float64
+	SegmentMetaBytes int64
+}
+
+// DefaultCostModel returns the calibrated constants.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		MapNS:       285,
+		FilterNS:    150,
+		HashNS:      225,
+		CompareNS:   95,
+		ReduceNS:    255,
+		SerDePerB:   1.65,
+		GeneratePNS: 210,
+		FlopNS:      1.4,
+		ObjectChurn: 4,
+
+		TaskDispatchNS:   400_000,    // 0.4 ms
+		StageOverheadNS:  2_500_000,  // 2.5 ms
+		JobOverheadNS:    4_000_000,  // 4 ms
+		ExecStartupNS:    12_000_000, // 12 ms
+		ExecStartupBytes: 8 << 20,    // 8 MiB heap-zeroing per executor
+		DiskBWBytes:      2e9,        // HDFS datanode streaming rate
+
+		ExecLaunchSerialNS:    800_000, // 0.8 ms per executor at the driver
+		AllocContentionFactor: 2.6,     // heap contention in fat executors
+
+		SegmentOpenNS:    9_000,
+		RemoteSegmentNS:  3_000,
+		SegmentMetaBytes: 2048,
+	}
+}

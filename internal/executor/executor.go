@@ -1,0 +1,104 @@
+package executor
+
+import (
+	"fmt"
+
+	"repro/internal/blockmgr"
+	"repro/internal/memsim"
+	"repro/internal/numa"
+)
+
+// Executor is one Spark computing unit: a set of cores pinned to a socket
+// and a memory binding, with its own block manager.
+type Executor struct {
+	ID      int
+	Cores   int
+	Binding numa.Binding
+	Blocks  *blockmgr.Manager
+}
+
+// NewExecutor builds an executor with the given core count and binding.
+// cacheCapacity bounds the executor's block manager (<=0 = unbounded).
+func NewExecutor(id, cores int, binding numa.Binding, cacheCapacity int64) *Executor {
+	if cores <= 0 {
+		panic(fmt.Sprintf("executor: executor %d with %d cores", id, cores))
+	}
+	if err := binding.Validate(); err != nil {
+		panic(err)
+	}
+	return &Executor{ID: id, Cores: cores, Binding: binding, Blocks: blockmgr.New(cacheCapacity)}
+}
+
+// Pool is the set of executors of one application, sharing one memory
+// system and one placement.
+type Pool struct {
+	Executors []*Executor
+	sys       *memsim.System
+	placement Placement
+}
+
+// NewPool builds n identical executors of coresEach cores, bound to
+// binding, allocating from the binding's tier on sys.
+func NewPool(n, coresEach int, binding numa.Binding, sys *memsim.System, cacheCapacity int64) *Pool {
+	return NewPlacedPool(n, coresEach, binding, sys, UniformPlacement(binding.Mem), cacheCapacity)
+}
+
+// NewPlacedPool builds a pool with an explicit per-category placement.
+func NewPlacedPool(n, coresEach int, binding numa.Binding, sys *memsim.System,
+	placement Placement, cacheCapacity int64) *Pool {
+	if n <= 0 {
+		panic(fmt.Sprintf("executor: pool of %d executors", n))
+	}
+	if err := placement.Validate(); err != nil {
+		panic(err)
+	}
+	p := &Pool{sys: sys, placement: placement}
+	for i := 0; i < n; i++ {
+		p.Executors = append(p.Executors, NewExecutor(i, coresEach, binding, cacheCapacity))
+	}
+	return p
+}
+
+// System returns the memory system the pool allocates from.
+func (p *Pool) System() *memsim.System { return p.sys }
+
+// Placement returns the pool's traffic-category placement.
+func (p *Pool) Placement() Placement { return p.placement }
+
+// Tier returns the heap tier — the paper's single membind target.
+func (p *Pool) Tier() *memsim.Tier { return p.sys.Tier(p.placement.Heap) }
+
+// ShuffleTier returns the tier backing shuffle segments.
+func (p *Pool) ShuffleTier() *memsim.Tier { return p.sys.Tier(p.placement.Shuffle) }
+
+// CacheTier returns the tier backing persisted RDD partitions.
+func (p *Pool) CacheTier() *memsim.Tier { return p.sys.Tier(p.placement.Cache) }
+
+// ConfigureContext applies the pool's heap-interleave settings to a task
+// context built over its tiers.
+func (p *Pool) ConfigureContext(ctx *TaskContext) *TaskContext {
+	if p.placement.HeapSpillFrac > 0 {
+		ctx.HeapSpill = p.sys.Tier(p.placement.HeapSpill)
+		ctx.HeapSpillFrac = p.placement.HeapSpillFrac
+	}
+	return ctx
+}
+
+// Size returns the number of executors.
+func (p *Pool) Size() int { return len(p.Executors) }
+
+// TotalCores returns the pool-wide core count.
+func (p *Pool) TotalCores() int {
+	n := 0
+	for _, e := range p.Executors {
+		n += e.Cores
+	}
+	return n
+}
+
+// AssignPartition deterministically maps a partition index to an executor,
+// used identically during real computation (for cache placement) and
+// during the timing simulation (for core contention).
+func (p *Pool) AssignPartition(part int) *Executor {
+	return p.Executors[part%len(p.Executors)]
+}

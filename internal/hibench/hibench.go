@@ -1,0 +1,127 @@
+// Package hibench is the experiment harness: it runs one HiBench workload
+// under one hardware/software configuration (memory tier, executor layout,
+// bandwidth cap) on a fresh simulated cluster and records everything the
+// paper measures — execution time, media access counters, DIMM energy and
+// system-level metrics.
+package hibench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/energy"
+	"repro/internal/executor"
+	"repro/internal/memsim"
+	"repro/internal/numa"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/workloads"
+)
+
+// RunSpec names one experiment cell.
+type RunSpec struct {
+	// Workload is the Table II abbreviation.
+	Workload string
+	// Size selects the dataset profile.
+	Size workloads.Size
+	// Tier binds the executors' memory (numactl membind).
+	Tier memsim.TierID
+	// Executors and CoresPerExecutor define the Spark layout; zero values
+	// select the paper default (1 executor x 40 cores).
+	Executors        int
+	CoresPerExecutor int
+	// Parallelism fixes spark.default.parallelism; zero selects 80
+	// (2 x the default 40 cores), held constant across executor sweeps so
+	// layout effects are isolated from partitioning effects.
+	Parallelism int
+	// BandwidthCap applies an MBA throttle in (0,1]; zero = uncapped.
+	BandwidthCap float64
+	// Placement optionally routes heap/shuffle/cache traffic to distinct
+	// tiers; nil binds everything to Tier (the paper's membind).
+	Placement *executor.Placement
+	// Seed defaults to 1.
+	Seed int64
+}
+
+// withDefaults fills zero fields.
+func (s RunSpec) withDefaults() RunSpec {
+	if s.Executors == 0 {
+		s.Executors = 1
+	}
+	if s.CoresPerExecutor == 0 {
+		s.CoresPerExecutor = numa.DefaultTopology().HyperthreadsPerSocket()
+	}
+	if s.Parallelism == 0 {
+		s.Parallelism = 2 * numa.DefaultTopology().HyperthreadsPerSocket()
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// String renders "pagerank/large@Tier 2 4x10".
+func (s RunSpec) String() string {
+	return fmt.Sprintf("%s/%s@%s %dx%d", s.Workload, s.Size, s.Tier, s.Executors, s.CoresPerExecutor)
+}
+
+// RunResult is the full measurement record of one run.
+type RunResult struct {
+	Spec     RunSpec
+	Duration sim.Time
+	Metrics  telemetry.RunMetrics
+	Summary  workloads.Summary
+	// BoundEnergy is the energy of the bound tier's device group.
+	BoundEnergy energy.Report
+	// DRAMEnergy and DCPMEnergy are the Tier 0 / Tier 2 device groups'
+	// energy over the run window, for the Figure 2 (bottom) comparison.
+	DRAMEnergy, DCPMEnergy energy.Report
+	// NVMCounters sums the media counters of the two DCPM tiers, for
+	// placement studies that split traffic between technologies.
+	NVMCounters memsim.Counters
+}
+
+// Run executes one experiment cell on a fresh simulated cluster.
+func Run(spec RunSpec) (RunResult, error) {
+	spec = spec.withDefaults()
+	w, err := workloads.ByName(spec.Workload)
+	if err != nil {
+		return RunResult{}, err
+	}
+	conf := cluster.Conf{
+		Executors:          spec.Executors,
+		CoresPerExecutor:   spec.CoresPerExecutor,
+		Binding:            numa.BindingForTier(spec.Tier),
+		DefaultParallelism: spec.Parallelism,
+		BandwidthCap:       spec.BandwidthCap,
+		Placement:          spec.Placement,
+		Seed:               spec.Seed,
+	}
+	if err := conf.Validate(); err != nil {
+		return RunResult{}, fmt.Errorf("hibench: %s: %w", spec, err)
+	}
+	app := cluster.New(conf)
+	summary := w.Run(app, spec.Size)
+	res := RunResult{
+		Spec:        spec,
+		Duration:    app.Elapsed(),
+		Metrics:     app.Metrics(),
+		Summary:     summary,
+		BoundEnergy: app.EnergyReport(spec.Tier),
+		DRAMEnergy:  app.EnergyReport(memsim.Tier0),
+		DCPMEnergy:  app.EnergyReport(memsim.Tier2),
+	}
+	res.NVMCounters.Add(app.System().Tier(memsim.Tier2).Counters())
+	res.NVMCounters.Add(app.System().Tier(memsim.Tier3).Counters())
+	return res, nil
+}
+
+// MustRun is Run for experiment code where a spec error is a programming
+// bug.
+func MustRun(spec RunSpec) RunResult {
+	res, err := Run(spec)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

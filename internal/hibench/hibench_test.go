@@ -1,0 +1,102 @@
+package hibench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/executor"
+	"repro/internal/memsim"
+	"repro/internal/workloads"
+)
+
+func TestRunSpecDefaults(t *testing.T) {
+	s := RunSpec{Workload: "sort"}.withDefaults()
+	if s.Executors != 1 || s.CoresPerExecutor != 40 {
+		t.Fatalf("default layout = %dx%d, want 1x40", s.Executors, s.CoresPerExecutor)
+	}
+	if s.Parallelism != 80 {
+		t.Fatalf("default parallelism = %d, want 80", s.Parallelism)
+	}
+	if s.Seed != 1 {
+		t.Fatalf("default seed = %d", s.Seed)
+	}
+}
+
+func TestRunSpecString(t *testing.T) {
+	s := RunSpec{Workload: "lda", Size: workloads.Large, Tier: memsim.Tier2,
+		Executors: 4, CoresPerExecutor: 10}
+	if got := s.String(); !strings.Contains(got, "lda/large") || !strings.Contains(got, "4x10") {
+		t.Fatalf("spec string = %q", got)
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if _, err := Run(RunSpec{Workload: "nope"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRunInvalidConf(t *testing.T) {
+	_, err := Run(RunSpec{Workload: "sort", Executors: 3, CoresPerExecutor: 40})
+	if err == nil {
+		t.Fatal("120-core layout accepted on an 80-thread machine")
+	}
+	if !strings.Contains(err.Error(), "cores") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestMustRunPanicsOnBadSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRun did not panic on a bad spec")
+		}
+	}()
+	MustRun(RunSpec{Workload: "nope"})
+}
+
+func TestRunProducesFullRecord(t *testing.T) {
+	res := MustRun(RunSpec{Workload: "repartition", Size: workloads.Tiny, Tier: memsim.Tier2})
+	if res.Duration <= 0 {
+		t.Error("no duration")
+	}
+	if res.Metrics.Tasks == 0 || res.Metrics.Stages == 0 {
+		t.Error("no scheduler stats")
+	}
+	if res.Summary.Records == 0 {
+		t.Error("no workload summary")
+	}
+	if res.BoundEnergy.TotalJ <= 0 || res.DRAMEnergy.TotalJ <= 0 || res.DCPMEnergy.TotalJ <= 0 {
+		t.Error("energy reports missing")
+	}
+	if res.NVMCounters.TotalAccesses() == 0 {
+		t.Error("tier-2 run recorded no NVM accesses")
+	}
+	if res.BoundEnergy.Kind != memsim.DCPM {
+		t.Errorf("bound tier kind = %v, want DCPM", res.BoundEnergy.Kind)
+	}
+}
+
+func TestRunWithPlacementSplitsTraffic(t *testing.T) {
+	p := executor.Placement{Heap: memsim.Tier0, Shuffle: memsim.Tier2, Cache: memsim.Tier0}
+	res := MustRun(RunSpec{Workload: "repartition", Size: workloads.Small,
+		Tier: memsim.Tier0, Placement: &p})
+	if res.NVMCounters.TotalAccesses() == 0 {
+		t.Fatal("shuffle-on-NVM placement produced no NVM accesses")
+	}
+	if res.NVMCounters.TotalAccesses() >= res.Metrics.MediaReads+res.Metrics.MediaWrites {
+		t.Fatal("placement sent everything to NVM; heap should stay on DRAM")
+	}
+}
+
+func TestRunDeterministicAcrossCalls(t *testing.T) {
+	spec := RunSpec{Workload: "bayes", Size: workloads.Tiny, Tier: memsim.Tier1, Seed: 5}
+	a := MustRun(spec)
+	b := MustRun(spec)
+	if a.Duration != b.Duration {
+		t.Fatalf("durations differ: %v vs %v", a.Duration, b.Duration)
+	}
+	if a.Metrics.MediaReads != b.Metrics.MediaReads {
+		t.Fatal("counters differ across identical runs")
+	}
+}

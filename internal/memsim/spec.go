@@ -1,0 +1,177 @@
+// Package memsim simulates the heterogeneous multi-tier DRAM/NVM memory
+// system of the paper's testbed: a dual-socket server with 4x32GB DDR4
+// DIMMs (2 per socket) and 6x256GB Intel Optane DC Persistent Memory
+// NVDIMMs deployed asymmetrically (2 on socket 0, 4 on socket 1), exposed
+// to software as four memory access scenarios ("Tiers").
+//
+// Tier 0  local DRAM            (same socket as the cores)
+// Tier 1  remote DRAM           (other socket, over the inter-socket link)
+// Tier 2  local Optane DCPM     (the 4-DIMM NVM group)
+// Tier 3  remote Optane DCPM    (the 2-DIMM NVM group, over the link)
+//
+// Idle latency and peak bandwidth per tier come directly from Table I of
+// the paper. Device-level read/write asymmetry, media access granularity
+// and background power come from the literature the paper cites for Optane
+// DCPM (Shanbhag et al. [29], Akram [35]).
+package memsim
+
+import "fmt"
+
+// Kind is the memory technology of a tier's backing devices.
+type Kind int
+
+const (
+	// DRAM is conventional DDR4.
+	DRAM Kind = iota
+	// DCPM is Intel Optane DC Persistent Memory in App Direct mode.
+	DCPM
+)
+
+// String returns the technology name.
+func (k Kind) String() string {
+	if k == DCPM {
+		return "DCPM"
+	}
+	return "DRAM"
+}
+
+// LineSize returns the media access granularity in bytes: 64 B cache lines
+// for DRAM, 256 B XPLines for Optane DCPM. Writes smaller than a line are
+// amplified to a full line at the media.
+func (k Kind) LineSize() int64 {
+	if k == DCPM {
+		return 256
+	}
+	return 64
+}
+
+// TierID identifies one of the four memory access scenarios.
+type TierID int
+
+// The four tiers of the paper's Figure 1.
+const (
+	Tier0 TierID = iota // local DRAM
+	Tier1               // remote DRAM
+	Tier2               // local DCPM (4 DIMMs)
+	Tier3               // remote DCPM (2 DIMMs)
+	NumTiers
+)
+
+// String returns "Tier 0" .. "Tier 3".
+func (id TierID) String() string { return fmt.Sprintf("Tier %d", int(id)) }
+
+// Valid reports whether the id is one of the four defined tiers.
+func (id TierID) Valid() bool { return id >= Tier0 && id < NumTiers }
+
+// AllTiers lists the tier ids in order, convenient for range loops in
+// experiment sweeps.
+func AllTiers() []TierID { return []TierID{Tier0, Tier1, Tier2, Tier3} }
+
+// TierSpec is the static description of a tier: Table I plus device-level
+// parameters needed by the timing and energy models.
+type TierSpec struct {
+	ID   TierID
+	Name string
+	Kind Kind
+
+	// Remote marks inter-socket (inter-NUMA) access scenarios.
+	Remote bool
+
+	// DIMMs is the number of memory modules backing the tier. It scales
+	// background power and wear accounting.
+	DIMMs int
+
+	// CapacityBytes is the usable capacity of the tier's device group.
+	CapacityBytes int64
+
+	// IdleLatencyNS is the unloaded read access latency in nanoseconds
+	// (Table I, "Idle Latency").
+	IdleLatencyNS float64
+
+	// BandwidthBytes is the peak sustainable bandwidth in bytes/second
+	// (Table I, "Bandwidth" in GB/s).
+	BandwidthBytes float64
+
+	// WriteLatencyFactor multiplies IdleLatencyNS for write accesses.
+	// DRAM is nearly symmetric; DCPM writes are several times slower at
+	// the media, which the paper identifies as a first-order effect
+	// (Takeaway 3).
+	WriteLatencyFactor float64
+
+	// WriteBandwidthFactor derates BandwidthBytes for scattered write
+	// traffic (DCPM sustains roughly a third of its read bandwidth on
+	// small random writes).
+	WriteBandwidthFactor float64
+
+	// SeqWriteBandwidthFactor derates BandwidthBytes for streaming write
+	// traffic; buffered sequential stores coalesce into full XPLines and
+	// come much closer to read bandwidth.
+	SeqWriteBandwidthFactor float64
+
+	// ContentionFactor is the per-extra-sharer latency inflation used by
+	// the loaded-latency model: effective latency grows by this fraction
+	// for every concurrent accessor beyond the first. DCPM's limited
+	// internal buffering makes it more contention-susceptible than DRAM
+	// (Takeaway 6).
+	ContentionFactor float64
+}
+
+const gb = 1 << 30
+
+// DefaultSpecs returns the four tier specifications of the paper's testbed,
+// with idle latency and bandwidth taken verbatim from Table I.
+func DefaultSpecs() [NumTiers]TierSpec {
+	return [NumTiers]TierSpec{
+		{
+			ID: Tier0, Name: "local DRAM", Kind: DRAM, Remote: false,
+			DIMMs: 2, CapacityBytes: 64 * gb,
+			IdleLatencyNS: 77.8, BandwidthBytes: 39.3 * 1e9,
+			WriteLatencyFactor: 1.05, WriteBandwidthFactor: 0.90,
+			SeqWriteBandwidthFactor: 0.95, ContentionFactor: 0.045,
+		},
+		{
+			ID: Tier1, Name: "remote DRAM", Kind: DRAM, Remote: true,
+			DIMMs: 2, CapacityBytes: 64 * gb,
+			IdleLatencyNS: 130.9, BandwidthBytes: 31.6 * 1e9,
+			WriteLatencyFactor: 1.05, WriteBandwidthFactor: 0.90,
+			SeqWriteBandwidthFactor: 0.95, ContentionFactor: 0.075,
+		},
+		{
+			ID: Tier2, Name: "local DCPM", Kind: DCPM, Remote: false,
+			DIMMs: 4, CapacityBytes: 4 * 256 * gb,
+			IdleLatencyNS: 172.1, BandwidthBytes: 10.7 * 1e9,
+			WriteLatencyFactor: 2.6, WriteBandwidthFactor: 0.35,
+			SeqWriteBandwidthFactor: 0.70, ContentionFactor: 0.11,
+		},
+		{
+			ID: Tier3, Name: "remote DCPM", Kind: DCPM, Remote: true,
+			DIMMs: 2, CapacityBytes: 2 * 256 * gb,
+			IdleLatencyNS: 231.3, BandwidthBytes: 0.47 * 1e9,
+			WriteLatencyFactor: 2.6, WriteBandwidthFactor: 0.35,
+			SeqWriteBandwidthFactor: 0.70, ContentionFactor: 0.13,
+		},
+	}
+}
+
+// Validate checks internal consistency of a spec.
+func (s TierSpec) Validate() error {
+	switch {
+	case !s.ID.Valid():
+		return fmt.Errorf("memsim: invalid tier id %d", s.ID)
+	case s.DIMMs <= 0:
+		return fmt.Errorf("memsim: %s has %d DIMMs", s.Name, s.DIMMs)
+	case s.IdleLatencyNS <= 0:
+		return fmt.Errorf("memsim: %s has non-positive idle latency", s.Name)
+	case s.BandwidthBytes <= 0:
+		return fmt.Errorf("memsim: %s has non-positive bandwidth", s.Name)
+	case s.WriteLatencyFactor < 1:
+		return fmt.Errorf("memsim: %s write latency factor < 1", s.Name)
+	case s.WriteBandwidthFactor <= 0 || s.WriteBandwidthFactor > 1:
+		return fmt.Errorf("memsim: %s write bandwidth factor out of (0,1]", s.Name)
+	case s.SeqWriteBandwidthFactor <= 0 || s.SeqWriteBandwidthFactor > 1:
+		return fmt.Errorf("memsim: %s seq write bandwidth factor out of (0,1]", s.Name)
+	case s.CapacityBytes <= 0:
+		return fmt.Errorf("memsim: %s has non-positive capacity", s.Name)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// NaiveBayesModel is a trained multinomial Naive Bayes classifier over an
+// integer token vocabulary.
+type NaiveBayesModel struct {
+	NumClasses int
+	VocabSize  int
+	// LogPrior[c] = log P(class c).
+	LogPrior []float64
+	// LogLikelihood[c*VocabSize+t] = log P(token t | class c), Laplace
+	// smoothed.
+	LogLikelihood []float64
+}
+
+// TrainNaiveBayes fits the model from per-class document counts and
+// per-(class, token) token counts. Returns the model and the flop count.
+func TrainNaiveBayes(numClasses, vocabSize int, classDocs []int64, tokenCounts map[[2]int]int64) (*NaiveBayesModel, int) {
+	if len(classDocs) != numClasses {
+		panic(fmt.Sprintf("ml: %d class counts for %d classes", len(classDocs), numClasses))
+	}
+	m := &NaiveBayesModel{
+		NumClasses:    numClasses,
+		VocabSize:     vocabSize,
+		LogPrior:      make([]float64, numClasses),
+		LogLikelihood: make([]float64, numClasses*vocabSize),
+	}
+	flops := 0
+	var totalDocs int64
+	for _, n := range classDocs {
+		totalDocs += n
+	}
+	if totalDocs == 0 {
+		panic("ml: naive bayes with no documents")
+	}
+	classTotals := make([]int64, numClasses)
+	for key, n := range tokenCounts {
+		if key[0] < 0 || key[0] >= numClasses || key[1] < 0 || key[1] >= vocabSize {
+			panic(fmt.Sprintf("ml: token count key %v out of range", key))
+		}
+		classTotals[key[0]] += n
+	}
+	for c := 0; c < numClasses; c++ {
+		prior := (float64(classDocs[c]) + 1) / (float64(totalDocs) + float64(numClasses))
+		m.LogPrior[c] = math.Log(prior)
+		denom := math.Log(float64(classTotals[c]) + float64(vocabSize))
+		for t := 0; t < vocabSize; t++ {
+			n := tokenCounts[[2]int{c, t}]
+			m.LogLikelihood[c*vocabSize+t] = math.Log(float64(n)+1) - denom
+			flops += 3
+		}
+		flops += 4
+	}
+	return m, flops
+}
+
+// Predict returns the most likely class for a bag of token ids and the
+// flop count.
+func (m *NaiveBayesModel) Predict(tokens []int) (int, int) {
+	best, bestScore := 0, math.Inf(-1)
+	flops := 0
+	for c := 0; c < m.NumClasses; c++ {
+		score := m.LogPrior[c]
+		for _, t := range tokens {
+			if t < 0 || t >= m.VocabSize {
+				panic(fmt.Sprintf("ml: token %d outside vocabulary %d", t, m.VocabSize))
+			}
+			score += m.LogLikelihood[c*m.VocabSize+t]
+		}
+		flops += len(tokens) + 1
+		if score > bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best, flops
+}

@@ -1,0 +1,142 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeansState holds the centroids of a k-means clustering.
+type KMeansState struct {
+	K        int
+	Dims     int
+	Centers  [][]float64
+	Inertia  float64 // sum of squared distances at the last assignment
+	Assigned int     // points assigned at the last step
+}
+
+// ByteSize reports the broadcast size of the centroids.
+func (s *KMeansState) ByteSize() int64 {
+	return int64(s.K*s.Dims*8 + 48)
+}
+
+// NewKMeansState seeds k centers from the given sample with k-means++
+// (first center uniform, each next center drawn proportionally to its
+// squared distance from the nearest chosen center), which avoids the
+// cluster-collapse that plain random seeding suffers.
+func NewKMeansState(k int, points [][]float64, r *rand.Rand) *KMeansState {
+	if k <= 0 || len(points) == 0 {
+		panic(fmt.Sprintf("ml: kmeans with k=%d over %d points", k, len(points)))
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	dims := len(points[0])
+	s := &KMeansState{K: k, Dims: dims, Centers: make([][]float64, 0, k)}
+	s.Centers = append(s.Centers, append([]float64(nil), points[r.Intn(len(points))]...))
+	d2 := make([]float64, len(points))
+	for len(s.Centers) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range s.Centers {
+				d := 0.0
+				for j := range p {
+					diff := p[j] - c[j]
+					d += diff * diff
+				}
+				if d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All sample points coincide with chosen centers; duplicate.
+			s.Centers = append(s.Centers, append([]float64(nil), points[0]...))
+			continue
+		}
+		u := r.Float64() * total
+		idx := len(points) - 1
+		acc := 0.0
+		for i, d := range d2 {
+			acc += d
+			if u <= acc {
+				idx = i
+				break
+			}
+		}
+		s.Centers = append(s.Centers, append([]float64(nil), points[idx]...))
+	}
+	return s
+}
+
+// Nearest returns the index of the closest center to p, the squared
+// distance, and the flop count.
+func (s *KMeansState) Nearest(p []float64) (int, float64, int) {
+	if len(p) != s.Dims {
+		panic(fmt.Sprintf("ml: kmeans point dims %d, centers %d", len(p), s.Dims))
+	}
+	best, bestD := 0, math.Inf(1)
+	for c, center := range s.Centers {
+		d := 0.0
+		for i := range p {
+			diff := p[i] - center[i]
+			d += diff * diff
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD, 3 * s.K * s.Dims
+}
+
+// KMeansAccum accumulates per-cluster sums from one partition; it is the
+// shuffle value of the distributed k-means step.
+type KMeansAccum struct {
+	Sum   []float64
+	Count int64
+}
+
+// ByteSize implements the engine's Sized interface.
+func (a KMeansAccum) ByteSize() int64 { return int64(8*len(a.Sum) + 32) }
+
+// Merge combines two accumulators.
+func (a KMeansAccum) Merge(b KMeansAccum) KMeansAccum {
+	if len(a.Sum) == 0 {
+		return b
+	}
+	if len(b.Sum) == 0 {
+		return a
+	}
+	out := KMeansAccum{Sum: make([]float64, len(a.Sum)), Count: a.Count + b.Count}
+	for i := range a.Sum {
+		out.Sum[i] = a.Sum[i] + b.Sum[i]
+	}
+	return out
+}
+
+// Update recomputes centers from per-cluster accumulators and returns the
+// largest center movement (for convergence checks). Empty clusters keep
+// their previous center.
+func (s *KMeansState) Update(accums map[int]KMeansAccum) float64 {
+	maxMove := 0.0
+	for c := 0; c < s.K; c++ {
+		acc, ok := accums[c]
+		if !ok || acc.Count == 0 {
+			continue
+		}
+		move := 0.0
+		for i := range s.Centers[c] {
+			next := acc.Sum[i] / float64(acc.Count)
+			d := next - s.Centers[c][i]
+			move += d * d
+			s.Centers[c][i] = next
+		}
+		if move > maxMove {
+			maxMove = move
+		}
+	}
+	return math.Sqrt(maxMove)
+}

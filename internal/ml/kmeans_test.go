@@ -1,0 +1,147 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func clusteredPoints(r *rand.Rand, k, dims, perCluster int, spread, noise float64) ([][]float64, [][]float64) {
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, dims)
+		for i := range centers[c] {
+			centers[c][i] = r.NormFloat64() * spread
+		}
+	}
+	var points [][]float64
+	for c := 0; c < k; c++ {
+		for n := 0; n < perCluster; n++ {
+			p := make([]float64, dims)
+			for i := range p {
+				p[i] = centers[c][i] + r.NormFloat64()*noise
+			}
+			points = append(points, p)
+		}
+	}
+	return points, centers
+}
+
+func TestKMeansRecoversClusters(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	points, _ := clusteredPoints(r, 5, 6, 60, 8, 0.3)
+	state := NewKMeansState(5, points, r)
+	for it := 0; it < 8; it++ {
+		accums := map[int]KMeansAccum{}
+		for _, p := range points {
+			c, _, _ := state.Nearest(p)
+			acc := accums[c]
+			if acc.Sum == nil {
+				acc.Sum = make([]float64, state.Dims)
+			}
+			for i := range p {
+				acc.Sum[i] += p[i]
+			}
+			acc.Count++
+			accums[c] = acc
+		}
+		state.Update(accums)
+	}
+	inertia := 0.0
+	for _, p := range points {
+		_, d, _ := state.Nearest(p)
+		inertia += d
+	}
+	mean := inertia / float64(len(points))
+	// Noise floor is 0.3^2 * 6 dims = 0.54; allow slack but demand
+	// near-floor convergence (collapse would leave ~spread^2 * dims).
+	if mean > 2.0 {
+		t.Fatalf("mean squared distance %.3f: clusters not recovered", mean)
+	}
+}
+
+func TestKMeansPlusPlusSpreadsSeeds(t *testing.T) {
+	// Two far-apart blobs: the two seeds must come from different blobs.
+	r := rand.New(rand.NewSource(4))
+	var points [][]float64
+	for i := 0; i < 50; i++ {
+		points = append(points, []float64{r.NormFloat64() * 0.1})
+		points = append(points, []float64{100 + r.NormFloat64()*0.1})
+	}
+	state := NewKMeansState(2, points, r)
+	a, b := state.Centers[0][0], state.Centers[1][0]
+	if (a < 50) == (b < 50) {
+		t.Fatalf("k-means++ seeded both centers in one blob: %v %v", a, b)
+	}
+}
+
+func TestKMeansAccumMerge(t *testing.T) {
+	a := KMeansAccum{Sum: []float64{1, 2}, Count: 3}
+	b := KMeansAccum{Sum: []float64{10, 20}, Count: 7}
+	m := a.Merge(b)
+	if m.Count != 10 || m.Sum[0] != 11 || m.Sum[1] != 22 {
+		t.Fatalf("merge = %+v", m)
+	}
+	if e := (KMeansAccum{}).Merge(a); e.Count != 3 {
+		t.Fatal("merge with empty lost data")
+	}
+	if e := a.Merge(KMeansAccum{}); e.Count != 3 {
+		t.Fatal("merge of empty lost data")
+	}
+	if a.ByteSize() <= 0 {
+		t.Fatal("ByteSize missing")
+	}
+}
+
+func TestKMeansUpdateEmptyClusterKeepsCenter(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	points := [][]float64{{0, 0}, {1, 1}}
+	state := NewKMeansState(2, points, r)
+	before := append([]float64(nil), state.Centers[1]...)
+	move := state.Update(map[int]KMeansAccum{
+		0: {Sum: []float64{4, 4}, Count: 2},
+	})
+	if move < 0 {
+		t.Fatal("negative movement")
+	}
+	for i := range before {
+		if state.Centers[1][i] != before[i] {
+			t.Fatal("empty cluster center moved")
+		}
+	}
+	if state.Centers[0][0] != 2 || state.Centers[0][1] != 2 {
+		t.Fatalf("center 0 = %v, want [2 2]", state.Centers[0])
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("k=0 did not panic")
+		}
+	}()
+	NewKMeansState(0, [][]float64{{1}}, r)
+}
+
+func TestKMeansNearestDimsMismatchPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	state := NewKMeansState(1, [][]float64{{1, 2}}, r)
+	defer func() {
+		if recover() == nil {
+			t.Error("dims mismatch did not panic")
+		}
+	}()
+	state.Nearest([]float64{1})
+}
+
+func TestKMeansKCappedBySampleSize(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	state := NewKMeansState(10, [][]float64{{1}, {2}}, r)
+	if state.K != 2 {
+		t.Fatalf("K = %d, want capped at 2", state.K)
+	}
+	if math.IsNaN(state.Centers[0][0]) {
+		t.Fatal("NaN center")
+	}
+}

@@ -1,0 +1,150 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LDAState is the global collapsed-Gibbs state shared (broadcast) across
+// partitions each iteration: topic-word and topic totals.
+type LDAState struct {
+	Topics int
+	Vocab  int
+	// WordTopic[w*Topics+k] counts word w assigned to topic k.
+	WordTopic []int64
+	// TopicTotal[k] counts all assignments to topic k.
+	TopicTotal []int64
+	// Alpha and Beta are the Dirichlet hyperparameters.
+	Alpha, Beta float64
+}
+
+// NewLDAState allocates zeroed counts.
+func NewLDAState(topics, vocab int, alpha, beta float64) *LDAState {
+	if topics <= 0 || vocab <= 0 {
+		panic(fmt.Sprintf("ml: LDA with %d topics, %d vocab", topics, vocab))
+	}
+	return &LDAState{
+		Topics:     topics,
+		Vocab:      vocab,
+		WordTopic:  make([]int64, vocab*topics),
+		TopicTotal: make([]int64, topics),
+		Alpha:      alpha,
+		Beta:       beta,
+	}
+}
+
+// ByteSize reports the broadcast size of the state.
+func (s *LDAState) ByteSize() int64 {
+	return int64(8*len(s.WordTopic) + 8*len(s.TopicTotal) + 64)
+}
+
+// Apply merges a delta (from one partition's resampling pass) into the
+// global state.
+func (s *LDAState) Apply(delta *LDADelta) {
+	if len(delta.WordTopic) != len(s.WordTopic) {
+		panic("ml: LDA delta shape mismatch")
+	}
+	for i, d := range delta.WordTopic {
+		s.WordTopic[i] += d
+	}
+	for k, d := range delta.TopicTotal {
+		s.TopicTotal[k] += d
+	}
+}
+
+// LDADelta carries count changes produced by resampling one partition.
+type LDADelta struct {
+	WordTopic  []int64
+	TopicTotal []int64
+}
+
+// ByteSize implements the engine's Sized interface.
+func (d *LDADelta) ByteSize() int64 {
+	return int64(8*len(d.WordTopic) + 8*len(d.TopicTotal) + 48)
+}
+
+// NewLDADelta allocates a zero delta matching the state shape.
+func (s *LDAState) NewLDADelta() *LDADelta {
+	return &LDADelta{
+		WordTopic:  make([]int64, len(s.WordTopic)),
+		TopicTotal: make([]int64, len(s.TopicTotal)),
+	}
+}
+
+// Document is one LDA document: token ids and their current topic
+// assignments (same length).
+type Document struct {
+	Words  []int
+	Topics []int
+	// TopicCounts[k] caches the document's per-topic assignment counts.
+	TopicCounts []int
+}
+
+// ByteSize implements the engine's Sized interface.
+func (d *Document) ByteSize() int64 {
+	return int64(24*3 + 8*len(d.Words) + 8*len(d.Topics) + 8*len(d.TopicCounts))
+}
+
+// InitDocument assigns random topics to a token list.
+func InitDocument(words []int, topics int, r *rand.Rand) *Document {
+	d := &Document{
+		Words:       words,
+		Topics:      make([]int, len(words)),
+		TopicCounts: make([]int, topics),
+	}
+	for i := range words {
+		k := r.Intn(topics)
+		d.Topics[i] = k
+		d.TopicCounts[k]++
+	}
+	return d
+}
+
+// ResampleDocument runs one collapsed-Gibbs sweep over the document against
+// the global state, accumulating count changes into delta. It returns the
+// number of flops and the number of count-table updates (each update is a
+// read-modify-write on the doc-topic and word-topic tables — the
+// write-heavy access pattern that makes LDA the most NVM-write-intensive
+// benchmark in the paper).
+func ResampleDocument(doc *Document, state *LDAState, delta *LDADelta, r *rand.Rand) (flops, updates int) {
+	K := state.Topics
+	probs := make([]float64, K)
+	vBeta := float64(state.Vocab) * state.Beta
+	for i, w := range doc.Words {
+		old := doc.Topics[i]
+		// Remove the token from its current topic.
+		doc.TopicCounts[old]--
+		delta.WordTopic[w*K+old]--
+		delta.TopicTotal[old]--
+		updates += 3
+
+		// Sample a new topic from the collapsed conditional.
+		sum := 0.0
+		for k := 0; k < K; k++ {
+			wt := float64(state.WordTopic[w*K+k] + delta.WordTopic[w*K+k])
+			tt := float64(state.TopicTotal[k] + delta.TopicTotal[k])
+			dt := float64(doc.TopicCounts[k])
+			p := (dt + state.Alpha) * (wt + state.Beta) / (tt + vBeta)
+			if p < 0 {
+				p = 0
+			}
+			sum += p
+			probs[k] = sum
+		}
+		flops += 6 * K
+		u := r.Float64() * sum
+		next := K - 1
+		for k := 0; k < K; k++ {
+			if u <= probs[k] {
+				next = k
+				break
+			}
+		}
+		doc.Topics[i] = next
+		doc.TopicCounts[next]++
+		delta.WordTopic[w*K+next]++
+		delta.TopicTotal[next]++
+		updates += 3
+	}
+	return flops, updates
+}

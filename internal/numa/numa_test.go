@@ -1,0 +1,153 @@
+package numa
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/sim"
+)
+
+func TestDefaultTopology(t *testing.T) {
+	topo := DefaultTopology()
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.HyperthreadsPerSocket() != 40 {
+		t.Errorf("hyperthreads/socket = %d, want 40 (2x20 cores SMT2)", topo.HyperthreadsPerSocket())
+	}
+	if topo.TotalThreads() != 80 {
+		t.Errorf("total threads = %d, want 80", topo.TotalThreads())
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	bad := Topology{CoresPerSocket: 0, ThreadsPerCore: 2}
+	if bad.Validate() == nil {
+		t.Error("zero cores should be invalid")
+	}
+}
+
+func TestBindingValidate(t *testing.T) {
+	good := Binding{CPU: Socket0, Mem: memsim.Tier2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid binding rejected: %v", err)
+	}
+	if (Binding{CPU: SocketID(5), Mem: memsim.Tier0}).Validate() == nil {
+		t.Error("invalid socket accepted")
+	}
+	if (Binding{CPU: Socket0, Mem: memsim.TierID(7)}).Validate() == nil {
+		t.Error("invalid tier accepted")
+	}
+}
+
+func TestBindingForTier(t *testing.T) {
+	for _, id := range memsim.AllTiers() {
+		b := BindingForTier(id)
+		if b.CPU != Socket0 || b.Mem != id {
+			t.Errorf("BindingForTier(%v) = %v", id, b)
+		}
+		if err := b.Validate(); err != nil {
+			t.Errorf("BindingForTier(%v) invalid: %v", id, err)
+		}
+	}
+}
+
+func TestTierNodeMapping(t *testing.T) {
+	cases := map[memsim.TierID]NodeID{
+		memsim.Tier0: Node0DRAM,
+		memsim.Tier1: Node1DRAM,
+		memsim.Tier2: Node2NVM,
+		memsim.Tier3: Node2NVM,
+	}
+	for tier, want := range cases {
+		if got := TierNode(tier); got != want {
+			t.Errorf("TierNode(%v) = %v, want %v", tier, got, want)
+		}
+	}
+}
+
+func TestTierNodePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("TierNode(invalid) did not panic")
+		}
+	}()
+	TierNode(memsim.TierID(42))
+}
+
+// The probes must recover Table I: this validates the entire latency and
+// bandwidth plumbing of the memory simulator end to end (experiment E-T1).
+func TestProbesRecoverTableI(t *testing.T) {
+	results := ProbeAllTiers()
+	want := map[memsim.TierID]struct{ lat, bw float64 }{
+		memsim.Tier0: {77.8, 39.3},
+		memsim.Tier1: {130.9, 31.6},
+		memsim.Tier2: {172.1, 10.7},
+		memsim.Tier3: {231.3, 0.47},
+	}
+	for _, r := range results {
+		w := want[r.Tier]
+		if rel := math.Abs(r.LatencyNS-w.lat) / w.lat; rel > 0.02 {
+			t.Errorf("%v probed latency %.1f ns, want %.1f ns (Table I)", r.Tier, r.LatencyNS, w.lat)
+		}
+		if rel := math.Abs(r.BandwidthGB-w.bw) / w.bw; rel > 0.02 {
+			t.Errorf("%v probed bandwidth %.2f GB/s, want %.2f GB/s (Table I)", r.Tier, r.BandwidthGB, w.bw)
+		}
+	}
+}
+
+func TestProbeBandwidthRespectsMBACap(t *testing.T) {
+	sys := newProbeSystem()
+	sys.SetBandwidthCap(0.5)
+	bw := ProbeBandwidth(sys, memsim.Tier0, 1<<28)
+	if rel := math.Abs(bw-39.3/2) / (39.3 / 2); rel > 0.02 {
+		t.Errorf("capped bandwidth %.2f GB/s, want ~%.2f", bw, 39.3/2)
+	}
+}
+
+func TestProbeDefaults(t *testing.T) {
+	lat := ProbeIdleLatency(newProbeSystem(), memsim.Tier0, 0)
+	if lat <= 0 {
+		t.Error("default-accesses latency probe returned nothing")
+	}
+	bw := ProbeBandwidth(newProbeSystem(), memsim.Tier0, 0)
+	if bw <= 0 {
+		t.Error("default-bytes bandwidth probe returned nothing")
+	}
+}
+
+func newProbeSystem() *memsim.System {
+	return memsim.NewSystem(sim.NewKernel())
+}
+
+func TestLoadedLatencyCurveMonotone(t *testing.T) {
+	for _, tier := range []memsim.TierID{memsim.Tier0, memsim.Tier2} {
+		curve := LoadedLatencyCurve(tier, nil)
+		if len(curve) != 8 {
+			t.Fatalf("curve points = %d", len(curve))
+		}
+		if math.Abs(curve[0][1]-memsim.DefaultSpecs()[tier].IdleLatencyNS) > 1e-6 {
+			t.Errorf("%v single-sharer latency %.6f != idle %.1f",
+				tier, curve[0][1], memsim.DefaultSpecs()[tier].IdleLatencyNS)
+		}
+		for i := 1; i < len(curve); i++ {
+			if curve[i][1] <= curve[i-1][1] {
+				t.Fatalf("%v loaded latency not increasing at %v sharers", tier, curve[i][0])
+			}
+		}
+	}
+	// DCPM's curve rises faster than DRAM's (Takeaway 6).
+	dram := LoadedLatencyCurve(memsim.Tier0, []int{1, 40})
+	dcpm := LoadedLatencyCurve(memsim.Tier2, []int{1, 40})
+	if dcpm[1][1]/dcpm[0][1] <= dram[1][1]/dram[0][1] {
+		t.Error("DCPM loaded-latency inflation must exceed DRAM's")
+	}
+}
+
+func TestProbeLoadedLatencyDefaults(t *testing.T) {
+	sys := newProbeSystem()
+	if l := ProbeLoadedLatency(sys, memsim.Tier1, 0, 0); l <= 0 {
+		t.Fatal("default loaded-latency probe returned nothing")
+	}
+}

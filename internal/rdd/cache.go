@@ -1,0 +1,35 @@
+package rdd
+
+import (
+	"repro/internal/blockmgr"
+	"repro/internal/executor"
+	"repro/internal/memsim"
+)
+
+// Cache returns a dataset that persists computed partitions in the
+// executor-local block manager (MEMORY_ONLY semantics): a hit streams the
+// block back from the executor's bound memory tier; a miss computes from
+// lineage and writes the block. Evicted blocks are recomputed on next
+// access, exactly like Spark.
+func Cache[T any](r *RDD[T]) *RDD[T] {
+	if r.cached {
+		return r
+	}
+	cached := newRDD[T](r.base.driver, r.base.Name+".cached", r.base.NumParts,
+		[]Dep{NarrowDep{r.base}}, nil)
+	cached.cached = true
+	id := cached.base.ID
+	cached.compute = func(ctx *executor.TaskContext, part int) []T {
+		block := blockmgr.BlockID{RDD: id, Partition: part}
+		if data, bytes, _, ok := ctx.Blocks.Get(block); ok {
+			ctx.CacheSeq(memsim.Read, bytes)
+			return data.([]T)
+		}
+		out := r.Compute(ctx, part)
+		bytes := SizeOfSlice(out)
+		ctx.CacheSeq(memsim.Write, bytes)
+		ctx.Blocks.Put(block, out, bytes, len(out))
+		return out
+	}
+	return cached
+}

@@ -1,0 +1,74 @@
+package rdd
+
+import "fmt"
+
+// Hashable lets custom key types supply their own deterministic hash.
+type Hashable interface {
+	Hash64() uint64
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fnv1a hashes a byte string.
+func fnv1a(s string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// mix64 finalizes an integer key (splitmix64 finalizer) so that dense key
+// spaces still spread across partitions.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HashAny deterministically hashes the key types used by the workloads.
+// Unsupported types panic loudly rather than silently skewing partitions.
+func HashAny(k any) uint64 {
+	switch x := k.(type) {
+	case Hashable:
+		return x.Hash64()
+	case string:
+		return fnv1a(x)
+	case int:
+		return mix64(uint64(x))
+	case int64:
+		return mix64(uint64(x))
+	case int32:
+		return mix64(uint64(x))
+	case uint64:
+		return mix64(x)
+	case uint32:
+		return mix64(uint64(x))
+	case bool:
+		if x {
+			return mix64(1)
+		}
+		return mix64(0)
+	case float64:
+		// Workload keys are never NaN; hash the decimal rendering to stay
+		// deterministic across platforms.
+		return fnv1a(fmt.Sprintf("%g", x))
+	default:
+		panic(fmt.Sprintf("rdd: unhashable key type %T", k))
+	}
+}
+
+// PartitionOf maps a key to one of n partitions.
+func PartitionOf(k any, n int) int {
+	if n <= 0 {
+		panic("rdd: PartitionOf with non-positive partition count")
+	}
+	return int(HashAny(k) % uint64(n))
+}

@@ -1,0 +1,406 @@
+package rdd
+
+import (
+	"sort"
+
+	"repro/internal/executor"
+	"repro/internal/memsim"
+)
+
+// Two is a generic 2-tuple, the value type of joins.
+type Two[A, B any] struct {
+	A A
+	B B
+}
+
+// ByteSize implements Sized.
+func (t Two[A, B]) ByteSize() int64 { return SizeOf(any(t.A)) + SizeOf(any(t.B)) }
+
+// CoGrouped holds the grouped values of both sides of a cogroup.
+type CoGrouped[V, W any] struct {
+	Left  []V
+	Right []W
+}
+
+// ByteSize implements Sized.
+func (c CoGrouped[V, W]) ByteSize() int64 {
+	total := int64(48)
+	for i := range c.Left {
+		total += SizeOf(any(c.Left[i]))
+	}
+	for i := range c.Right {
+		total += SizeOf(any(c.Right[i]))
+	}
+	return total
+}
+
+// MapValues transforms the value of each pair, keeping the key (and thus
+// the partitioning) intact.
+func MapValues[K comparable, V, U any](r *RDD[Pair[K, V]], f func(V) U) *RDD[Pair[K, U]] {
+	return Map(r, func(p Pair[K, V]) Pair[K, U] { return KV(p.Key, f(p.Val)) })
+}
+
+// FlatMapValues expands each value to zero or more values under the same key.
+func FlatMapValues[K comparable, V, U any](r *RDD[Pair[K, V]], f func(V) []U) *RDD[Pair[K, U]] {
+	return FlatMap(r, func(p Pair[K, V]) []Pair[K, U] {
+		vs := f(p.Val)
+		out := make([]Pair[K, U], len(vs))
+		for i, v := range vs {
+			out[i] = KV(p.Key, v)
+		}
+		return out
+	})
+}
+
+// Keys projects the keys of a pair dataset.
+func Keys[K comparable, V any](r *RDD[Pair[K, V]]) *RDD[K] {
+	return Map(r, func(p Pair[K, V]) K { return p.Key })
+}
+
+// Values projects the values of a pair dataset.
+func Values[K comparable, V any](r *RDD[Pair[K, V]]) *RDD[V] {
+	return Map(r, func(p Pair[K, V]) V { return p.Val })
+}
+
+// bucketize hash-partitions one computed map partition into per-reduce
+// buckets. Records are appended to per-bucket serialized buffers, so the
+// data itself streams (sequential writes); only the per-bucket headers are
+// scattered. This is what keeps pure-shuffle workloads (sort, repartition)
+// far less latency-sensitive than hash-aggregating ones — the paper's
+// per-application sensitivity split.
+func bucketize[K comparable, V any](ctx *executor.TaskContext, recs []Pair[K, V], p Partitioner[K]) [][]Pair[K, V] {
+	buckets := make([][]Pair[K, V], p.NumPartitions())
+	var bytes int64
+	for _, rec := range recs {
+		b := p.PartitionFor(rec.Key)
+		buckets[b] = append(buckets[b], rec)
+		bytes += rec.ByteSize()
+	}
+	ctx.CPUPerRecord(len(recs), ctx.Cost.HashNS)
+	ctx.ShuffleSeq(memsim.Write, bytes)
+	used := 0
+	for _, b := range buckets {
+		if len(b) > 0 {
+			used++
+		}
+	}
+	ctx.ShuffleRand(memsim.Write, used, int64(used)*64)
+	return buckets
+}
+
+// putBuckets serializes and registers the buckets as shuffle segments.
+func putBuckets[K comparable, V any](ctx *executor.TaskContext, shuffleID, mapPart int, buckets [][]Pair[K, V]) {
+	for reduce, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		bytes := SizeOfSlice(b)
+		ctx.CPU(float64(bytes) * ctx.Cost.SerDePerB)
+		ctx.Shuffle.Put(shuffleID, mapPart, reduce, ctx.ExecID, b, len(b), bytes)
+	}
+}
+
+// localCombine aggregates a record batch in an insertion-ordered hash map,
+// charging hash-table traffic (random probes and inserts).
+func localCombine[K comparable, V, C any](ctx *executor.TaskContext, recs []Pair[K, V],
+	create func(V) C, merge func(C, V) C) []Pair[K, C] {
+	index := make(map[K]int, len(recs))
+	out := make([]Pair[K, C], 0, len(recs)/2+1)
+	var probeBytes int64
+	for _, rec := range recs {
+		probeBytes += rec.ByteSize()
+		if i, ok := index[rec.Key]; ok {
+			out[i].Val = merge(out[i].Val, rec.Val)
+		} else {
+			index[rec.Key] = len(out)
+			out = append(out, KV(rec.Key, create(rec.Val)))
+		}
+	}
+	ctx.CPUPerRecord(len(recs), ctx.Cost.HashNS+ctx.Cost.ReduceNS)
+	ctx.MemRand(memsim.Read, len(recs), probeBytes)
+	if len(out) > 0 {
+		ctx.MemRand(memsim.Write, len(out), SizeOfSlice(out))
+	}
+	return out
+}
+
+// CombineByKey is the general shuffle aggregation underlying reduceByKey,
+// aggregateByKey and groupByKey. When mapSideCombine is set, map tasks
+// pre-aggregate before writing segments (Spark's combiner).
+func CombineByKey[K comparable, V, C any](r *RDD[Pair[K, V]],
+	create func(V) C, mergeValue func(C, V) C, mergeCombiners func(C, C) C,
+	parts int, mapSideCombine bool) *RDD[Pair[K, C]] {
+
+	d := r.base.driver
+	if parts <= 0 {
+		parts = d.DefaultParallelism()
+	}
+	part := HashPartitioner[K]{Parts: parts}
+	shuffleID := d.NextShuffleID()
+
+	dep := &ShuffleDep{
+		P:         r.base,
+		ShuffleID: shuffleID,
+		NumReduce: parts,
+		WriteMap: func(ctx *executor.TaskContext, mapPart int) {
+			recs := r.Compute(ctx, mapPart)
+			if mapSideCombine {
+				combined := localCombine(ctx, recs, create, mergeValue)
+				putBuckets(ctx, shuffleID, mapPart, bucketize(ctx, combined, part))
+			} else {
+				putBuckets(ctx, shuffleID, mapPart, bucketize(ctx, recs, part))
+			}
+		},
+	}
+	return newRDD(d, "combineByKey", parts, []Dep{dep}, func(ctx *executor.TaskContext, reduce int) []Pair[K, C] {
+		if mapSideCombine {
+			return mergeSegments[K, C, C](ctx, shuffleID, reduce,
+				func(c C) C { return c }, mergeCombiners)
+		}
+		return mergeSegments[K, V, C](ctx, shuffleID, reduce, create, mergeValue)
+	})
+}
+
+// mergeSegments drains one reduce partition's segments into an
+// insertion-ordered aggregation map.
+func mergeSegments[K comparable, V, C any](ctx *executor.TaskContext, shuffleID, reduce int,
+	create func(V) C, merge func(C, V) C) []Pair[K, C] {
+	index := make(map[K]int)
+	var out []Pair[K, C]
+	var probeBytes int64
+	var n int
+	for _, seg := range ctx.Shuffle.Inputs(shuffleID, reduce) {
+		if seg == nil {
+			continue
+		}
+		ctx.ReadShuffleSegment(seg)
+		recs := seg.Records.([]Pair[K, V])
+		for _, rec := range recs {
+			probeBytes += rec.ByteSize()
+			if i, ok := index[rec.Key]; ok {
+				out[i].Val = merge(out[i].Val, rec.Val)
+			} else {
+				index[rec.Key] = len(out)
+				out = append(out, KV(rec.Key, create(rec.Val)))
+			}
+		}
+		n += len(recs)
+	}
+	ctx.CPUPerRecord(n, ctx.Cost.HashNS+ctx.Cost.ReduceNS)
+	ctx.MemRand(memsim.Read, n, probeBytes)
+	if len(out) > 0 {
+		ctx.MemRand(memsim.Write, len(out), SizeOfSlice(out))
+	}
+	return out
+}
+
+// ReduceByKey merges values per key with f, combining map-side.
+func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], f func(V, V) V, parts int) *RDD[Pair[K, V]] {
+	return CombineByKey(r, func(v V) V { return v }, f, f, parts, true)
+}
+
+// AggregateByKey folds values into a zero accumulator with seqOp, merging
+// accumulators with combOp.
+func AggregateByKey[K comparable, V, C any](r *RDD[Pair[K, V]], zero func() C,
+	seqOp func(C, V) C, combOp func(C, C) C, parts int) *RDD[Pair[K, C]] {
+	return CombineByKey(r,
+		func(v V) C { return seqOp(zero(), v) }, seqOp, combOp, parts, true)
+}
+
+// GroupByKey gathers all values per key without map-side combining (like
+// Spark, it ships every record across the shuffle).
+func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]], parts int) *RDD[Pair[K, []V]] {
+	return CombineByKey(r,
+		func(v V) []V { return []V{v} },
+		func(acc []V, v V) []V { return append(acc, v) },
+		func(a, b []V) []V { return append(a, b...) },
+		parts, false)
+}
+
+// PartitionBy redistributes pairs by the given partitioner without
+// aggregation; within a partition records arrive in map-partition order.
+func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], p Partitioner[K]) *RDD[Pair[K, V]] {
+	d := r.base.driver
+	shuffleID := d.NextShuffleID()
+	dep := &ShuffleDep{
+		P:         r.base,
+		ShuffleID: shuffleID,
+		NumReduce: p.NumPartitions(),
+		WriteMap: func(ctx *executor.TaskContext, mapPart int) {
+			putBuckets(ctx, shuffleID, mapPart, bucketize(ctx, r.Compute(ctx, mapPart), p))
+		},
+	}
+	return newRDD(d, "partitionBy", p.NumPartitions(), []Dep{dep},
+		func(ctx *executor.TaskContext, reduce int) []Pair[K, V] {
+			var out []Pair[K, V]
+			for _, seg := range ctx.Shuffle.Inputs(shuffleID, reduce) {
+				if seg == nil {
+					continue
+				}
+				ctx.ReadShuffleSegment(seg)
+				out = append(out, seg.Records.([]Pair[K, V])...)
+			}
+			return out
+		})
+}
+
+// SortByKey range-partitions by a sampled key distribution and sorts each
+// partition locally, like Spark: a sampling job runs eagerly to build the
+// partitioner, then the shuffle and per-partition sorts execute lazily.
+func SortByKey[K comparable, V any](r *RDD[Pair[K, V]], less func(a, b K) bool, parts int) *RDD[Pair[K, V]] {
+	d := r.base.driver
+	if parts <= 0 {
+		parts = d.DefaultParallelism()
+	}
+	// Sampling job (Spark's rangeBounds computation) runs eagerly.
+	sampled := Sample(r, 0.05)
+	keys := Collect(Keys(sampled))
+	rp := NewRangePartitioner(keys, parts, less)
+
+	shuffled := PartitionBy(r, rp)
+	return MapPartitions(shuffled, func(ctx *executor.TaskContext, part int, in []Pair[K, V]) []Pair[K, V] {
+		sortPartition(ctx, in, less)
+		return in
+	})
+}
+
+// sortPartition sorts records in place and charges n log n comparison CPU
+// plus one streaming read and one streaming write of the partition: range
+// partitions are small enough to merge inside the cache hierarchy, so only
+// the initial load and final store reach memory. This is exactly why the
+// paper's sort benchmark is among the least tier-sensitive applications —
+// it streams, it doesn't chase pointers.
+func sortPartition[K comparable, V any](ctx *executor.TaskContext, in []Pair[K, V], less func(a, b K) bool) {
+	n := len(in)
+	if n == 0 {
+		return
+	}
+	sort.SliceStable(in, func(i, j int) bool { return less(in[i].Key, in[j].Key) })
+	ctx.CPU(float64(n) * float64(log2(n)) * ctx.Cost.CompareNS)
+	ctx.MemSeq(memsim.Read, SizeOfSlice(in))
+}
+
+func log2(n int) int {
+	p := 0
+	for n > 1 {
+		n >>= 1
+		p++
+	}
+	if p == 0 {
+		p = 1
+	}
+	return p
+}
+
+// CoGroup shuffles both sides with a shared hash partitioner and groups
+// values per key from each side.
+func CoGroup[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], parts int) *RDD[Pair[K, CoGrouped[V, W]]] {
+	d := a.base.driver
+	if parts <= 0 {
+		parts = d.DefaultParallelism()
+	}
+	p := HashPartitioner[K]{Parts: parts}
+	leftID := d.NextShuffleID()
+	rightID := d.NextShuffleID()
+
+	depL := &ShuffleDep{
+		P: a.base, ShuffleID: leftID, NumReduce: parts,
+		WriteMap: func(ctx *executor.TaskContext, mapPart int) {
+			putBuckets(ctx, leftID, mapPart, bucketize(ctx, a.Compute(ctx, mapPart), p))
+		},
+	}
+	depR := &ShuffleDep{
+		P: b.base, ShuffleID: rightID, NumReduce: parts,
+		WriteMap: func(ctx *executor.TaskContext, mapPart int) {
+			putBuckets(ctx, rightID, mapPart, bucketize(ctx, b.Compute(ctx, mapPart), p))
+		},
+	}
+	return newRDD(d, "cogroup", parts, []Dep{depL, depR},
+		func(ctx *executor.TaskContext, reduce int) []Pair[K, CoGrouped[V, W]] {
+			index := make(map[K]int)
+			var out []Pair[K, CoGrouped[V, W]]
+			slot := func(k K) int {
+				if i, ok := index[k]; ok {
+					return i
+				}
+				index[k] = len(out)
+				out = append(out, KV(k, CoGrouped[V, W]{}))
+				return len(out) - 1
+			}
+			var n int
+			var probeBytes int64
+			for _, seg := range ctx.Shuffle.Inputs(leftID, reduce) {
+				if seg == nil {
+					continue
+				}
+				ctx.ReadShuffleSegment(seg)
+				for _, rec := range seg.Records.([]Pair[K, V]) {
+					i := slot(rec.Key)
+					out[i].Val.Left = append(out[i].Val.Left, rec.Val)
+					probeBytes += rec.ByteSize()
+					n++
+				}
+			}
+			for _, seg := range ctx.Shuffle.Inputs(rightID, reduce) {
+				if seg == nil {
+					continue
+				}
+				ctx.ReadShuffleSegment(seg)
+				for _, rec := range seg.Records.([]Pair[K, W]) {
+					i := slot(rec.Key)
+					out[i].Val.Right = append(out[i].Val.Right, rec.Val)
+					probeBytes += rec.ByteSize()
+					n++
+				}
+			}
+			ctx.CPUPerRecord(n, ctx.Cost.HashNS+ctx.Cost.ReduceNS)
+			ctx.MemRand(memsim.Read, n, probeBytes)
+			if len(out) > 0 {
+				ctx.MemRand(memsim.Write, len(out), SizeOfSlice(out))
+			}
+			return out
+		})
+}
+
+// Join inner-joins two pair datasets on their keys.
+func Join[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], parts int) *RDD[Pair[K, Two[V, W]]] {
+	cg := CoGroup(a, b, parts)
+	return FlatMap(cg, func(p Pair[K, CoGrouped[V, W]]) []Pair[K, Two[V, W]] {
+		if len(p.Val.Left) == 0 || len(p.Val.Right) == 0 {
+			return nil
+		}
+		out := make([]Pair[K, Two[V, W]], 0, len(p.Val.Left)*len(p.Val.Right))
+		for _, v := range p.Val.Left {
+			for _, w := range p.Val.Right {
+				out = append(out, KV(p.Key, Two[V, W]{v, w}))
+			}
+		}
+		return out
+	})
+}
+
+// Distinct deduplicates a dataset of comparable records via a shuffle.
+func Distinct[T comparable](r *RDD[T], parts int) *RDD[T] {
+	pairs := Map(r, func(v T) Pair[T, bool] { return KV(v, true) })
+	reduced := ReduceByKey(pairs, func(a, b bool) bool { return a }, parts)
+	return Keys(reduced)
+}
+
+// Repartition redistributes records round-robin across parts partitions —
+// Spark's repartition(), the core of the HiBench repartition micro
+// benchmark: a pure shuffle with no aggregation.
+func Repartition[T any](r *RDD[T], parts int) *RDD[T] {
+	if parts <= 0 {
+		parts = r.base.driver.DefaultParallelism()
+	}
+	srcParts := r.base.NumParts
+	keyed := MapPartitions(r, func(ctx *executor.TaskContext, part int, in []T) []Pair[int, T] {
+		out := make([]Pair[int, T], len(in))
+		for i, v := range in {
+			out[i] = KV(part+i*srcParts, v) // deterministic round-robin key
+		}
+		return out
+	})
+	shuffled := PartitionBy(keyed, HashPartitioner[int]{Parts: parts})
+	return Values(shuffled)
+}

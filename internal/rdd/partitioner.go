@@ -1,0 +1,64 @@
+package rdd
+
+import "sort"
+
+// Partitioner assigns keys to reduce partitions.
+type Partitioner[K comparable] interface {
+	NumPartitions() int
+	PartitionFor(k K) int
+}
+
+// HashPartitioner spreads keys by hash, Spark's default.
+type HashPartitioner[K comparable] struct {
+	Parts int
+}
+
+// NumPartitions returns the partition count.
+func (p HashPartitioner[K]) NumPartitions() int { return p.Parts }
+
+// PartitionFor hashes the key modulo the partition count.
+func (p HashPartitioner[K]) PartitionFor(k K) int { return PartitionOf(any(k), p.Parts) }
+
+// RangePartitioner assigns keys to ordered ranges, used by sortByKey so
+// that concatenating sorted partitions yields a totally sorted dataset.
+type RangePartitioner[K comparable] struct {
+	// Bounds are the upper bounds of partitions 0..n-2, ascending.
+	Bounds []K
+	Less   func(a, b K) bool
+}
+
+// NumPartitions returns len(Bounds)+1.
+func (p RangePartitioner[K]) NumPartitions() int { return len(p.Bounds) + 1 }
+
+// PartitionFor binary-searches the key into its range.
+func (p RangePartitioner[K]) PartitionFor(k K) int {
+	return sort.Search(len(p.Bounds), func(i int) bool { return p.Less(k, p.Bounds[i]) })
+}
+
+// NewRangePartitioner derives partition bounds from a sorted-or-not sample
+// of keys, mirroring Spark's sampled range partitioning. parts must be
+// positive; with fewer distinct sample keys than parts, trailing
+// partitions simply stay empty.
+func NewRangePartitioner[K comparable](sample []K, parts int, less func(a, b K) bool) RangePartitioner[K] {
+	if parts <= 0 {
+		panic("rdd: range partitioner with non-positive partition count")
+	}
+	sorted := make([]K, len(sample))
+	copy(sorted, sample)
+	sort.Slice(sorted, func(i, j int) bool { return less(sorted[i], sorted[j]) })
+	var bounds []K
+	if len(sorted) > 0 {
+		for i := 1; i < parts; i++ {
+			idx := i * len(sorted) / parts
+			if idx >= len(sorted) {
+				idx = len(sorted) - 1
+			}
+			b := sorted[idx]
+			// Skip duplicate bounds to keep ranges strictly increasing.
+			if len(bounds) == 0 || less(bounds[len(bounds)-1], b) {
+				bounds = append(bounds, b)
+			}
+		}
+	}
+	return RangePartitioner[K]{Bounds: bounds, Less: less}
+}

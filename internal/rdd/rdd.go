@@ -1,0 +1,113 @@
+// Package rdd implements a Spark-like resilient distributed dataset layer:
+// lazily evaluated, typed datasets with narrow (pipelined) and wide
+// (shuffle) dependencies. Real records flow through every operator, so the
+// memory traffic charged to the simulated tiers is a product of actual
+// data movement, not hand-tuned per-application constants.
+//
+// Following Spark's execution model, narrow transformation chains are
+// pipelined: intermediate records live in registers/cache and charge only
+// CPU. Memory traffic is charged at materialization points — source scans,
+// shuffle writes/reads, cache hits/misses and action results — which is
+// where a real Spark job touches DRAM/NVM.
+package rdd
+
+import (
+	"fmt"
+
+	"repro/internal/executor"
+)
+
+// ResultFunc computes a job's result for one partition of the final RDD.
+type ResultFunc func(ctx *executor.TaskContext, part int) any
+
+// Driver is the application facade the RDD layer runs against. The cluster
+// package implements it; tests use lightweight fakes.
+type Driver interface {
+	// NextRDDID allocates a unique dataset id.
+	NextRDDID() int
+	// NextShuffleID allocates a unique shuffle id.
+	NextShuffleID() int
+	// DefaultParallelism is the default partition count for shuffles.
+	DefaultParallelism() int
+	// RunJob executes fn over every partition of final and returns the
+	// per-partition results in partition order.
+	RunJob(final *Base, fn ResultFunc) []any
+	// Seed is the application's deterministic random seed.
+	Seed() int64
+}
+
+// Dep is a dependency edge in the lineage graph.
+type Dep interface {
+	// Parent returns the upstream dataset.
+	Parent() *Base
+}
+
+// NarrowDep is a pipelined one-to-one dependency (map, filter, ...).
+type NarrowDep struct{ P *Base }
+
+// Parent returns the upstream dataset.
+func (d NarrowDep) Parent() *Base { return d.P }
+
+// ShuffleDep is a wide dependency: the parent is hash/range partitioned
+// into NumReduce buckets by map tasks before the child can compute.
+type ShuffleDep struct {
+	P         *Base
+	ShuffleID int
+	NumReduce int
+	// WriteMap computes parent partition mapPart and writes its buckets
+	// to the shuffle store, charging costs on ctx.
+	WriteMap func(ctx *executor.TaskContext, mapPart int)
+}
+
+// Parent returns the upstream dataset.
+func (d *ShuffleDep) Parent() *Base { return d.P }
+
+// Base is the untyped skeleton of a dataset: what the DAG scheduler sees.
+type Base struct {
+	ID       int
+	Name     string
+	NumParts int
+	Deps     []Dep
+	driver   Driver
+}
+
+// Driver returns the owning application.
+func (b *Base) Driver() Driver { return b.driver }
+
+// String renders like "RDD[12 sortByKey, 80 parts]".
+func (b *Base) String() string {
+	return fmt.Sprintf("RDD[%d %s, %d parts]", b.ID, b.Name, b.NumParts)
+}
+
+// RDD is a typed dataset. Transformations build new RDDs lazily; actions
+// submit jobs through the Driver.
+type RDD[T any] struct {
+	base    *Base
+	compute func(ctx *executor.TaskContext, part int) []T
+	cached  bool
+}
+
+// newRDD wires a typed dataset onto a fresh Base.
+func newRDD[T any](d Driver, name string, parts int, deps []Dep,
+	compute func(ctx *executor.TaskContext, part int) []T) *RDD[T] {
+	if parts <= 0 {
+		panic(fmt.Sprintf("rdd: %s with %d partitions", name, parts))
+	}
+	base := &Base{ID: d.NextRDDID(), Name: name, NumParts: parts, Deps: deps, driver: d}
+	return &RDD[T]{base: base, compute: compute}
+}
+
+// Base exposes the scheduler view of the dataset.
+func (r *RDD[T]) Base() *Base { return r.base }
+
+// NumPartitions returns the dataset's partition count.
+func (r *RDD[T]) NumPartitions() int { return r.base.NumParts }
+
+// Compute materializes one partition in the context of a task. It is
+// invoked by the scheduler (through closures) and by downstream RDDs.
+func (r *RDD[T]) Compute(ctx *executor.TaskContext, part int) []T {
+	if part < 0 || part >= r.base.NumParts {
+		panic(fmt.Sprintf("rdd: partition %d out of range for %s", part, r.base))
+	}
+	return r.compute(ctx, part)
+}

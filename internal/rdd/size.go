@@ -1,0 +1,65 @@
+package rdd
+
+// Sized lets record types report their nominal in-memory size, which the
+// charging layer uses to translate record movement into bytes. Workload
+// record types implement it; common scalar types get built-in estimates.
+type Sized interface {
+	ByteSize() int64
+}
+
+// SizeOf estimates the in-memory footprint of a record in bytes, including
+// typical object/header overheads (the JVM analogue the paper's Spark heap
+// would see).
+func SizeOf(v any) int64 {
+	switch x := v.(type) {
+	case Sized:
+		return x.ByteSize()
+	case string:
+		return int64(16 + len(x))
+	case []byte:
+		return int64(24 + len(x))
+	case int, int64, uint64, float64, int32, uint32, float32:
+		return 8
+	case bool, int8, uint8:
+		return 1
+	case []int:
+		return int64(24 + 8*len(x))
+	case []int64:
+		return int64(24 + 8*len(x))
+	case []float64:
+		return int64(24 + 8*len(x))
+	case []string:
+		total := int64(24)
+		for _, s := range x {
+			total += 16 + int64(len(s))
+		}
+		return total
+	case nil:
+		return 0
+	default:
+		return 32
+	}
+}
+
+// SizeOfSlice sums SizeOf over a slice plus the slice header.
+func SizeOfSlice[T any](s []T) int64 {
+	total := int64(24)
+	for i := range s {
+		total += SizeOf(any(s[i]))
+	}
+	return total
+}
+
+// Pair is a key-value record, the currency of shuffle operations.
+type Pair[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// ByteSize implements Sized by combining the halves.
+func (p Pair[K, V]) ByteSize() int64 {
+	return SizeOf(any(p.Key)) + SizeOf(any(p.Val))
+}
+
+// KV is shorthand for constructing a Pair.
+func KV[K comparable, V any](k K, v V) Pair[K, V] { return Pair[K, V]{Key: k, Val: v} }

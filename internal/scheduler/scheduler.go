@@ -1,0 +1,212 @@
+// Package scheduler implements the DAG scheduler: it walks an action's
+// lineage graph, splits it into stages at shuffle boundaries, runs map
+// stages for unmaterialized shuffle dependencies in topological order, and
+// finally runs the result stage. Each stage's tasks compute real data
+// eagerly (producing cost profiles) and are then replayed on the
+// discrete-event executor model to advance virtual time under contention —
+// exactly Spark's barrier-between-stages execution discipline.
+package scheduler
+
+import (
+	"fmt"
+
+	"repro/internal/executor"
+	"repro/internal/rdd"
+	"repro/internal/shuffle"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Env is the slice of the application the scheduler needs.
+type Env interface {
+	Kernel() *sim.Kernel
+	Pool() *executor.Pool
+	ShuffleStore() *shuffle.Store
+	Cost() executor.CostModel
+	Seed() int64
+	// Tracer returns the span recorder; a nil recorder disables tracing.
+	Tracer() *trace.Recorder
+	// TaskFailureRate is the injected per-attempt task failure
+	// probability (0 disables failure injection).
+	TaskFailureRate() float64
+}
+
+// Stats accumulates scheduler-level observables across jobs, feeding the
+// system-level metrics of the paper's Figure 5.
+type Stats struct {
+	Jobs        int
+	Stages      int
+	Tasks       int
+	TaskRetries int // injected failures that were retried
+	CPUNS       float64
+	StallNS     float64
+	ShuffleRead int64 // bytes fetched by reduce tasks
+	MaxSharers  int
+}
+
+// Scheduler owns shuffle materialization state for one application.
+type Scheduler struct {
+	env   Env
+	done  map[int]bool // shuffle id -> outputs materialized
+	stats Stats
+}
+
+// New builds a scheduler over the environment.
+func New(env Env) *Scheduler {
+	return &Scheduler{env: env, done: make(map[int]bool)}
+}
+
+// Stats returns accumulated execution statistics.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// RunJob executes fn over every partition of final, materializing upstream
+// shuffles first, and returns per-partition results in partition order.
+func (s *Scheduler) RunJob(final *rdd.Base, fn rdd.ResultFunc) []any {
+	k := s.env.Kernel()
+	s.stats.Jobs++
+	s.advance(sim.Duration(s.env.Cost().JobOverheadNS))
+
+	s.visit(final)
+
+	// Result stage.
+	pool := s.env.Pool()
+	results := make([]any, final.NumParts)
+	tasks := make([]executor.SimTask, 0, final.NumParts)
+	for part := 0; part < final.NumParts; part++ {
+		ctx := s.newContext(part)
+		results[part] = fn(ctx, part)
+		tasks = append(tasks, executor.SimTask{Profile: ctx.Profile(), ExecID: ctx.ExecID})
+	}
+	s.injectFailures(tasks)
+	start := k.Now()
+	res := executor.SimulateStage(k, pool, tasks, s.env.Cost())
+	s.accountStage(res, len(tasks))
+	s.env.Tracer().Add(trace.Span{
+		Name:     fmt.Sprintf("result stage (job %d, %s)", s.stats.Jobs, final),
+		Category: "stage",
+		Start:    start,
+		End:      k.Now(),
+		Tasks:    len(tasks),
+	})
+	return results
+}
+
+// visit materializes every shuffle dependency reachable from b.
+func (s *Scheduler) visit(b *rdd.Base) {
+	for _, dep := range b.Deps {
+		switch d := dep.(type) {
+		case rdd.NarrowDep:
+			s.visit(d.P)
+		case *rdd.ShuffleDep:
+			s.ensureShuffle(d)
+		}
+	}
+}
+
+// ensureShuffle runs the map stage for one shuffle dependency unless its
+// outputs already exist (shuffle reuse across jobs, like Spark).
+func (s *Scheduler) ensureShuffle(d *rdd.ShuffleDep) {
+	if s.done[d.ShuffleID] {
+		return
+	}
+	s.visit(d.P) // upstream shuffles first
+	store := s.env.ShuffleStore()
+	store.RegisterShuffle(d.ShuffleID, d.P.NumParts)
+
+	before := store.TotalBytes()
+	tasks := make([]executor.SimTask, 0, d.P.NumParts)
+	for mapPart := 0; mapPart < d.P.NumParts; mapPart++ {
+		ctx := s.newContext(mapPart)
+		d.WriteMap(ctx, mapPart)
+		tasks = append(tasks, executor.SimTask{Profile: ctx.Profile(), ExecID: ctx.ExecID})
+	}
+	s.injectFailures(tasks)
+	start := s.env.Kernel().Now()
+	res := executor.SimulateStage(s.env.Kernel(), s.env.Pool(), tasks, s.env.Cost())
+	s.accountStage(res, len(tasks))
+	s.env.Tracer().Add(trace.Span{
+		Name:     fmt.Sprintf("map stage (shuffle %d)", d.ShuffleID),
+		Category: "stage",
+		Start:    start,
+		End:      s.env.Kernel().Now(),
+		Tasks:    len(tasks),
+	})
+	s.stats.ShuffleRead += store.TotalBytes() - before
+	s.done[d.ShuffleID] = true
+}
+
+// injectFailures replays failed task attempts: with failure rate f, each
+// task independently fails Geometric(f) times before succeeding (Spark
+// re-runs the task; its cost is paid again per attempt). The draw is
+// seeded per (seed, stage, partition) so runs stay deterministic.
+func (s *Scheduler) injectFailures(tasks []executor.SimTask) {
+	rate := s.env.TaskFailureRate()
+	if rate <= 0 {
+		return
+	}
+	for i := range tasks {
+		h := failureHash(s.env.Seed(), s.stats.Stages, i)
+		attempts := 1
+		for rate > failureUniform(h, attempts) && attempts < 4 {
+			attempts++
+		}
+		if attempts == 1 {
+			continue
+		}
+		base := tasks[i].Profile
+		for a := 1; a < attempts; a++ {
+			tasks[i].Profile.Add(base)
+		}
+		s.stats.TaskRetries += attempts - 1
+	}
+}
+
+// failureHash mixes the identifying coordinates of a task attempt.
+func failureHash(seed int64, stage, part int) uint64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(stage)<<32 ^ uint64(part)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// failureUniform derives a deterministic uniform in [0,1) per attempt.
+func failureUniform(h uint64, attempt int) float64 {
+	x := h ^ uint64(attempt)*0xd6e8feb86659fd93
+	x ^= x >> 32
+	x *= 0xd6e8feb86659fd93
+	x ^= x >> 32
+	return float64(x>>11) / float64(1<<53)
+}
+
+func (s *Scheduler) newContext(part int) *executor.TaskContext {
+	pool := s.env.Pool()
+	ex := pool.AssignPartition(part)
+	return pool.ConfigureContext(executor.NewPlacedTaskContext(ex.ID, part,
+		pool.Tier(), pool.ShuffleTier(), pool.CacheTier(), s.env.Cost(),
+		ex.Blocks, s.env.ShuffleStore(), s.env.Seed()))
+}
+
+func (s *Scheduler) accountStage(res executor.StageResult, tasks int) {
+	s.stats.Stages++
+	s.stats.Tasks += tasks
+	s.stats.CPUNS += res.CPUNS
+	s.stats.StallNS += res.StallNS
+	if res.MaxSharers > s.stats.MaxSharers {
+		s.stats.MaxSharers = res.MaxSharers
+	}
+	// SimulateStage leaves the clock at the last task end; account the
+	// stage overhead by advancing the clock explicitly.
+	s.advance(sim.Duration(s.env.Cost().StageOverheadNS))
+}
+
+// advance moves the virtual clock forward by d (fixed overheads).
+func (s *Scheduler) advance(d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	k := s.env.Kernel()
+	k.RunUntil(k.Now() + d)
+}

@@ -1,0 +1,112 @@
+// Package shuffle implements the map-output store behind wide RDD
+// dependencies: a hash shuffle in which every map task writes one segment
+// per reduce partition, and every reduce task fetches its segment from
+// every map output. Segments record which executor produced them so the
+// reader can distinguish local from remote fetches (remote fetches carry
+// the executor co-operation overhead of the paper's Takeaway 6).
+//
+// Like blockmgr, the store is a pure data structure; memory charging is
+// performed by the task context that reads or writes segments.
+package shuffle
+
+import "fmt"
+
+// Segment is one (map partition, reduce partition) bucket of records.
+type Segment struct {
+	// Records holds the bucketed records, boxed as a typed slice (e.g.
+	// []Pair[K,V]); the reduce side knows the concrete type.
+	Records any
+	// Items is the number of records in the segment.
+	Items int
+	// Bytes is the serialized size of the segment.
+	Bytes int64
+	// ExecID is the executor whose map task wrote the segment.
+	ExecID int
+}
+
+type key struct {
+	shuffle int
+	mapPart int
+	reduce  int
+}
+
+// Store is the application-wide registry of shuffle outputs.
+type Store struct {
+	segs     map[key]*Segment
+	mapParts map[int]int // shuffleID -> number of map partitions
+	bytes    int64
+}
+
+// NewStore returns an empty shuffle store.
+func NewStore() *Store {
+	return &Store{segs: make(map[key]*Segment), mapParts: make(map[int]int)}
+}
+
+// RegisterShuffle declares a shuffle's map-side width. Must be called
+// before Put/Inputs for that shuffle id.
+func (s *Store) RegisterShuffle(shuffleID, numMapParts int) {
+	if numMapParts <= 0 {
+		panic(fmt.Sprintf("shuffle: shuffle %d with %d map partitions", shuffleID, numMapParts))
+	}
+	s.mapParts[shuffleID] = numMapParts
+}
+
+// Registered reports whether a shuffle's outputs have been declared.
+func (s *Store) Registered(shuffleID int) bool {
+	_, ok := s.mapParts[shuffleID]
+	return ok
+}
+
+// NumMapParts returns the map-side width of a registered shuffle.
+func (s *Store) NumMapParts(shuffleID int) int {
+	n, ok := s.mapParts[shuffleID]
+	if !ok {
+		panic(fmt.Sprintf("shuffle: shuffle %d not registered", shuffleID))
+	}
+	return n
+}
+
+// Put stores one segment. Empty segments may be stored too (nil Records,
+// zero bytes); readers skip them cheaply.
+func (s *Store) Put(shuffleID, mapPart, reducePart, execID int, records any, items int, bytes int64) {
+	if !s.Registered(shuffleID) {
+		panic(fmt.Sprintf("shuffle: Put on unregistered shuffle %d", shuffleID))
+	}
+	k := key{shuffleID, mapPart, reducePart}
+	if old, ok := s.segs[k]; ok {
+		s.bytes -= old.Bytes
+	}
+	s.segs[k] = &Segment{Records: records, Items: items, Bytes: bytes, ExecID: execID}
+	s.bytes += bytes
+}
+
+// Get returns one segment, or nil if the map task wrote nothing for this
+// reduce partition.
+func (s *Store) Get(shuffleID, mapPart, reducePart int) *Segment {
+	return s.segs[key{shuffleID, mapPart, reducePart}]
+}
+
+// Inputs returns the segments feeding one reduce partition, ordered by map
+// partition (deterministic). Missing segments appear as nil entries.
+func (s *Store) Inputs(shuffleID, reducePart int) []*Segment {
+	n := s.NumMapParts(shuffleID)
+	out := make([]*Segment, n)
+	for m := 0; m < n; m++ {
+		out[m] = s.segs[key{shuffleID, m, reducePart}]
+	}
+	return out
+}
+
+// TotalBytes is the cumulative size of all live segments.
+func (s *Store) TotalBytes() int64 { return s.bytes }
+
+// DropShuffle frees a shuffle's segments (after its consumer stage ran).
+func (s *Store) DropShuffle(shuffleID int) {
+	for k, seg := range s.segs {
+		if k.shuffle == shuffleID {
+			s.bytes -= seg.Bytes
+			delete(s.segs, k)
+		}
+	}
+	delete(s.mapParts, shuffleID)
+}

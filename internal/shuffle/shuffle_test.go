@@ -1,0 +1,119 @@
+package shuffle
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegisterPutGet(t *testing.T) {
+	s := NewStore()
+	s.RegisterShuffle(1, 3)
+	if !s.Registered(1) || s.Registered(2) {
+		t.Fatal("registration state wrong")
+	}
+	if s.NumMapParts(1) != 3 {
+		t.Fatalf("map parts = %d, want 3", s.NumMapParts(1))
+	}
+	s.Put(1, 0, 2, 7, []int{1, 2}, 2, 64)
+	seg := s.Get(1, 0, 2)
+	if seg == nil || seg.Items != 2 || seg.Bytes != 64 || seg.ExecID != 7 {
+		t.Fatalf("segment = %+v", seg)
+	}
+	if s.Get(1, 1, 2) != nil {
+		t.Fatal("phantom segment")
+	}
+}
+
+func TestInputsOrderedWithGaps(t *testing.T) {
+	s := NewStore()
+	s.RegisterShuffle(5, 4)
+	s.Put(5, 2, 0, 0, "m2", 1, 10)
+	s.Put(5, 0, 0, 0, "m0", 1, 10)
+	in := s.Inputs(5, 0)
+	if len(in) != 4 {
+		t.Fatalf("inputs len = %d, want 4", len(in))
+	}
+	if in[0] == nil || in[0].Records.(string) != "m0" {
+		t.Fatal("map 0 segment wrong")
+	}
+	if in[1] != nil || in[3] != nil {
+		t.Fatal("gaps must be nil")
+	}
+	if in[2] == nil || in[2].Records.(string) != "m2" {
+		t.Fatal("map 2 segment wrong")
+	}
+}
+
+func TestTotalBytesAndReplace(t *testing.T) {
+	s := NewStore()
+	s.RegisterShuffle(1, 2)
+	s.Put(1, 0, 0, 0, nil, 0, 100)
+	s.Put(1, 1, 0, 0, nil, 0, 50)
+	if s.TotalBytes() != 150 {
+		t.Fatalf("total = %d, want 150", s.TotalBytes())
+	}
+	s.Put(1, 0, 0, 0, nil, 0, 30) // replace
+	if s.TotalBytes() != 80 {
+		t.Fatalf("total after replace = %d, want 80", s.TotalBytes())
+	}
+}
+
+func TestDropShuffle(t *testing.T) {
+	s := NewStore()
+	s.RegisterShuffle(1, 1)
+	s.RegisterShuffle(2, 1)
+	s.Put(1, 0, 0, 0, nil, 0, 100)
+	s.Put(2, 0, 0, 0, nil, 0, 40)
+	s.DropShuffle(1)
+	if s.Registered(1) {
+		t.Fatal("shuffle 1 still registered after drop")
+	}
+	if s.TotalBytes() != 40 {
+		t.Fatalf("total = %d, want 40", s.TotalBytes())
+	}
+	if s.Get(2, 0, 0) == nil {
+		t.Fatal("shuffle 2 collateral damage")
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	s := NewStore()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero map parts", func() { s.RegisterShuffle(1, 0) })
+	mustPanic("put unregistered", func() { s.Put(9, 0, 0, 0, nil, 0, 0) })
+	mustPanic("inputs unregistered", func() { s.Inputs(9, 0) })
+}
+
+// Property: TotalBytes always equals the sum of live segment sizes.
+func TestTotalBytesInvariantProperty(t *testing.T) {
+	prop := func(ops []struct {
+		Map, Reduce uint8
+		Bytes       uint16
+	}) bool {
+		s := NewStore()
+		s.RegisterShuffle(0, 16)
+		type k struct{ m, r int }
+		live := map[k]int64{}
+		for _, op := range ops {
+			m, r := int(op.Map%16), int(op.Reduce%16)
+			s.Put(0, m, r, 0, nil, 0, int64(op.Bytes))
+			live[k{m, r}] = int64(op.Bytes)
+		}
+		var want int64
+		for _, b := range live {
+			want += b
+		}
+		return s.TotalBytes() == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

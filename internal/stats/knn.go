@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KNNRegressor predicts by distance-weighted averaging of the k nearest
+// training observations in normalized feature space. It is the "Machine
+// Learning techniques" alternative the paper's §IV-F sketches next to
+// analytical/linear models.
+type KNNRegressor struct {
+	k      int
+	xs     [][]float64
+	ys     []float64
+	mean   []float64
+	scale  []float64
+	fitted bool
+}
+
+// NewKNNRegressor returns a regressor using the k nearest neighbours.
+func NewKNNRegressor(k int) *KNNRegressor {
+	if k <= 0 {
+		panic(fmt.Sprintf("stats: knn with k=%d", k))
+	}
+	return &KNNRegressor{k: k}
+}
+
+// Fit stores the training set and computes per-feature normalization
+// (zero mean, unit variance; constant features are left unscaled).
+func (r *KNNRegressor) Fit(xs [][]float64, ys []float64) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		panic(fmt.Sprintf("stats: knn fit over %d xs vs %d ys", len(xs), len(ys)))
+	}
+	d := len(xs[0])
+	r.mean = make([]float64, d)
+	r.scale = make([]float64, d)
+	for _, x := range xs {
+		if len(x) != d {
+			panic("stats: ragged knn feature matrix")
+		}
+		for j, v := range x {
+			r.mean[j] += v
+		}
+	}
+	for j := range r.mean {
+		r.mean[j] /= float64(len(xs))
+	}
+	for _, x := range xs {
+		for j, v := range x {
+			dev := v - r.mean[j]
+			r.scale[j] += dev * dev
+		}
+	}
+	for j := range r.scale {
+		r.scale[j] = math.Sqrt(r.scale[j] / float64(len(xs)))
+		if r.scale[j] == 0 {
+			r.scale[j] = 1
+		}
+	}
+	r.xs = make([][]float64, len(xs))
+	for i, x := range xs {
+		r.xs[i] = r.normalize(x)
+	}
+	r.ys = append([]float64(nil), ys...)
+	r.fitted = true
+}
+
+func (r *KNNRegressor) normalize(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - r.mean[j]) / r.scale[j]
+	}
+	return out
+}
+
+// Predict returns the inverse-distance-weighted mean of the k nearest
+// training targets.
+func (r *KNNRegressor) Predict(x []float64) float64 {
+	if !r.fitted {
+		panic("stats: knn predict before fit")
+	}
+	if len(x) != len(r.mean) {
+		panic(fmt.Sprintf("stats: knn predict with %d features, fitted %d", len(x), len(r.mean)))
+	}
+	q := r.normalize(x)
+	type cand struct {
+		d float64
+		y float64
+	}
+	cands := make([]cand, len(r.xs))
+	for i, t := range r.xs {
+		d := 0.0
+		for j := range q {
+			diff := q[j] - t[j]
+			d += diff * diff
+		}
+		cands[i] = cand{d: math.Sqrt(d), y: r.ys[i]}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	k := r.k
+	if k > len(cands) {
+		k = len(cands)
+	}
+	var num, den float64
+	for _, c := range cands[:k] {
+		w := 1 / (c.d + 1e-9)
+		num += w * c.y
+		den += w
+	}
+	return num / den
+}

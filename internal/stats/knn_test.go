@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKNNExactNeighbourRecall(t *testing.T) {
+	r := NewKNNRegressor(1)
+	xs := [][]float64{{0}, {10}, {20}}
+	ys := []float64{1, 2, 3}
+	r.Fit(xs, ys)
+	for i, x := range xs {
+		if got := r.Predict(x); math.Abs(got-ys[i]) > 1e-9 {
+			t.Fatalf("predict(%v) = %v, want %v", x, got, ys[i])
+		}
+	}
+	// Midpoint queries snap to the nearest.
+	if got := r.Predict([]float64{2}); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("nearest of 2 = %v, want 1", got)
+	}
+}
+
+func TestKNNInterpolatesSmoothFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var xs [][]float64
+	var ys []float64
+	f := func(a, b float64) float64 { return 3*a - 2*b + 5 }
+	for i := 0; i < 400; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		xs = append(xs, []float64{a, b})
+		ys = append(ys, f(a, b))
+	}
+	r := NewKNNRegressor(5)
+	r.Fit(xs, ys)
+	for i := 0; i < 50; i++ {
+		a, b := 1+rng.Float64()*8, 1+rng.Float64()*8
+		got := r.Predict([]float64{a, b})
+		want := f(a, b)
+		if math.Abs(got-want) > 3 {
+			t.Fatalf("predict(%v,%v) = %v, want ~%v", a, b, got, want)
+		}
+	}
+}
+
+func TestKNNNormalizationMatters(t *testing.T) {
+	// Feature 1 is on a 1e6 scale but irrelevant; feature 0 decides y.
+	// Without normalization the noise dimension would dominate distances.
+	var xs [][]float64
+	var ys []float64
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a := rng.Float64()
+		noise := rng.Float64() * 1e6
+		xs = append(xs, []float64{a, noise})
+		ys = append(ys, a*100)
+	}
+	r := NewKNNRegressor(3)
+	r.Fit(xs, ys)
+	got := r.Predict([]float64{0.5, 5e5})
+	if math.Abs(got-50) > 25 {
+		t.Fatalf("normalized knn predict = %v, want ~50", got)
+	}
+}
+
+func TestKNNConstantFeatureSafe(t *testing.T) {
+	r := NewKNNRegressor(2)
+	r.Fit([][]float64{{1, 7}, {2, 7}, {3, 7}}, []float64{1, 2, 3})
+	if got := r.Predict([]float64{2, 7}); math.IsNaN(got) {
+		t.Fatal("constant feature produced NaN")
+	}
+}
+
+func TestKNNKLargerThanTrainingSet(t *testing.T) {
+	r := NewKNNRegressor(50)
+	r.Fit([][]float64{{0}, {1}}, []float64{2, 4})
+	got := r.Predict([]float64{0.5})
+	if got < 2 || got > 4 {
+		t.Fatalf("predict = %v, want within [2,4]", got)
+	}
+}
+
+func TestKNNPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("k=0", func() { NewKNNRegressor(0) })
+	mustPanic("predict before fit", func() { NewKNNRegressor(1).Predict([]float64{1}) })
+	mustPanic("empty fit", func() { NewKNNRegressor(1).Fit(nil, nil) })
+	mustPanic("ragged", func() {
+		NewKNNRegressor(1).Fit([][]float64{{1}, {1, 2}}, []float64{1, 2})
+	})
+	r := NewKNNRegressor(1)
+	r.Fit([][]float64{{1}}, []float64{1})
+	mustPanic("dims mismatch", func() { r.Predict([]float64{1, 2}) })
+}

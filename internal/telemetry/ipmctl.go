@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/memsim"
+)
+
+// DIMMCounters is the per-module view of a device group's media activity,
+// in the shape of `ipmctl show -performance`: interleaved allocations
+// spread accesses nearly evenly across the group's DIMMs, with any
+// remainder landing on the lowest-numbered modules.
+type DIMMCounters struct {
+	// DIMM is the module index within its group.
+	DIMM int
+	// MediaReads / MediaWrites are media line transfers served by the
+	// module.
+	MediaReads  int64
+	MediaWrites int64
+	// WearFraction is the module's share of consumed endurance
+	// (zero for DRAM).
+	WearFraction float64
+}
+
+// IpmctlView splits a tier's counters across its DIMMs.
+func IpmctlView(spec memsim.TierSpec, c memsim.Counters) []DIMMCounters {
+	n := spec.DIMMs
+	out := make([]DIMMCounters, n)
+	for i := range out {
+		out[i].DIMM = i
+		out[i].MediaReads = share(c.MediaReads, n, i)
+		out[i].MediaWrites = share(c.MediaWrites, n, i)
+		if spec.Kind == memsim.DCPM {
+			const ratedCycles = 1e5
+			budget := float64(spec.CapacityBytes) / float64(n) * ratedCycles
+			wBytes := share(c.MediaWriteBytes, n, i)
+			out[i].WearFraction = float64(wBytes) / budget
+		}
+	}
+	return out
+}
+
+// share gives module i of n its interleaved portion of total, remainder
+// first.
+func share(total int64, n, i int) int64 {
+	base := total / int64(n)
+	if int64(i) < total%int64(n) {
+		return base + 1
+	}
+	return base
+}
+
+// WriteIpmctl renders the view in an ipmctl-like fixed-width listing.
+func WriteIpmctl(w io.Writer, tierName string, dimms []DIMMCounters) {
+	fmt.Fprintf(w, "---%s---\n", tierName)
+	for _, d := range dimms {
+		fmt.Fprintf(w, " DimmID=0x%04x MediaReads=%d MediaWrites=%d WearPct=%.6f%%\n",
+			0x1000+d.DIMM, d.MediaReads, d.MediaWrites, d.WearFraction*100)
+	}
+}

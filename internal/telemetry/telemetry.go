@@ -1,0 +1,124 @@
+// Package telemetry collects run-level system metrics: the simulator's
+// analogue of the paper's monitoring stack (perf counters, Intel ipmctl
+// media access counters, RAPL/DIMM energy). A RunMetrics snapshot is taken
+// per experiment run and feeds the correlation analysis of Figures 5-6.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/memsim"
+	"repro/internal/sim"
+)
+
+// RunMetrics is one run's system-level observables.
+type RunMetrics struct {
+	// Duration is the run's virtual wall-clock time.
+	Duration sim.Time
+
+	// CPU and memory-stall time summed over tasks.
+	CPUNS   float64
+	StallNS float64
+
+	// Aggregate media traffic on the bound tier.
+	MediaReads      int64
+	MediaWrites     int64
+	MediaReadBytes  int64
+	MediaWriteBytes int64
+
+	// Logical byte traffic.
+	ReadBytes  int64
+	WriteBytes int64
+
+	// Engine-level counters.
+	Stages      int
+	Tasks       int
+	ShuffleRead int64
+	CacheHits   int64
+	CacheMisses int64
+	MaxSharers  int
+
+	// EnergyJ is the bound device group's total energy for the run.
+	EnergyJ float64
+}
+
+// WriteRatio is media writes over total media accesses.
+func (m RunMetrics) WriteRatio() float64 {
+	t := m.MediaReads + m.MediaWrites
+	if t == 0 {
+		return 0
+	}
+	return float64(m.MediaWrites) / float64(t)
+}
+
+// MetricNames lists the system-level metrics used in the Figure 5
+// correlation study, in canonical order.
+func MetricNames() []string {
+	return []string{
+		"cpu_ns",
+		"stall_ns",
+		"media_reads",
+		"media_writes",
+		"media_read_bytes",
+		"media_write_bytes",
+		"bytes_read",
+		"bytes_written",
+		"write_ratio",
+		"stages",
+		"tasks",
+		"shuffle_bytes",
+		"energy_j",
+	}
+}
+
+// Vector projects the snapshot onto the named metric space.
+func (m RunMetrics) Vector() map[string]float64 {
+	return map[string]float64{
+		"cpu_ns":            m.CPUNS,
+		"stall_ns":          m.StallNS,
+		"media_reads":       float64(m.MediaReads),
+		"media_writes":      float64(m.MediaWrites),
+		"media_read_bytes":  float64(m.MediaReadBytes),
+		"media_write_bytes": float64(m.MediaWriteBytes),
+		"bytes_read":        float64(m.ReadBytes),
+		"bytes_written":     float64(m.WriteBytes),
+		"write_ratio":       m.WriteRatio(),
+		"stages":            float64(m.Stages),
+		"tasks":             float64(m.Tasks),
+		"shuffle_bytes":     float64(m.ShuffleRead),
+		"energy_j":          m.EnergyJ,
+	}
+}
+
+// Get returns one metric by name, panicking on unknown names so typos in
+// experiment code fail fast.
+func (m RunMetrics) Get(name string) float64 {
+	v, ok := m.Vector()[name]
+	if !ok {
+		panic(fmt.Sprintf("telemetry: unknown metric %q", name))
+	}
+	return v
+}
+
+// FromCounters fills the media/byte fields from a tier counter delta.
+func (m *RunMetrics) FromCounters(c memsim.Counters) {
+	m.MediaReads = c.MediaReads
+	m.MediaWrites = c.MediaWrites
+	m.MediaReadBytes = c.MediaReadBytes
+	m.MediaWriteBytes = c.MediaWriteBytes
+	m.ReadBytes = c.ReadBytes
+	m.WriteBytes = c.WriteBytes
+}
+
+// String renders a sorted compact view for logs.
+func (m RunMetrics) String() string {
+	v := m.Vector()
+	names := MetricNames()
+	sort.Strings(names)
+	s := fmt.Sprintf("duration=%v", m.Duration)
+	for _, n := range names {
+		s += fmt.Sprintf(" %s=%.3g", n, v[n])
+	}
+	return s
+}

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memsim"
+)
+
+func sample() RunMetrics {
+	m := RunMetrics{
+		Duration: 1_000_000,
+		CPUNS:    500_000,
+		StallNS:  200_000,
+		Stages:   3,
+		Tasks:    24,
+	}
+	m.FromCounters(memsim.Counters{
+		ReadOps: 10, WriteOps: 5,
+		ReadBytes: 1000, WriteBytes: 500,
+		MediaReads: 20, MediaWrites: 10,
+		MediaReadBytes: 1280, MediaWriteBytes: 640,
+	})
+	m.EnergyJ = 2.5
+	return m
+}
+
+func TestVectorCoversAllMetricNames(t *testing.T) {
+	v := sample().Vector()
+	for _, name := range MetricNames() {
+		if _, ok := v[name]; !ok {
+			t.Errorf("metric %q missing from vector", name)
+		}
+	}
+	if len(v) != len(MetricNames()) {
+		t.Errorf("vector has %d entries, names list %d", len(v), len(MetricNames()))
+	}
+}
+
+func TestFromCounters(t *testing.T) {
+	m := sample()
+	if m.MediaReads != 20 || m.MediaWrites != 10 {
+		t.Fatalf("media counters not copied: %+v", m)
+	}
+	if m.ReadBytes != 1000 || m.WriteBytes != 500 {
+		t.Fatalf("byte counters not copied: %+v", m)
+	}
+}
+
+func TestWriteRatio(t *testing.T) {
+	m := sample()
+	if got := m.WriteRatio(); got != 10.0/30.0 {
+		t.Fatalf("write ratio = %v, want 1/3", got)
+	}
+	var empty RunMetrics
+	if empty.WriteRatio() != 0 {
+		t.Fatal("empty metrics should have zero write ratio")
+	}
+}
+
+func TestGetKnownAndUnknown(t *testing.T) {
+	m := sample()
+	if m.Get("media_reads") != 20 {
+		t.Fatalf("Get(media_reads) = %v", m.Get("media_reads"))
+	}
+	if m.Get("energy_j") != 2.5 {
+		t.Fatalf("Get(energy_j) = %v", m.Get("energy_j"))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown metric did not panic")
+		}
+	}()
+	m.Get("no_such_metric")
+}
+
+func TestStringContainsMetrics(t *testing.T) {
+	s := sample().String()
+	for _, want := range []string{"duration=", "media_reads", "energy_j"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestIpmctlViewSplitsEvenly(t *testing.T) {
+	spec := memsim.DefaultSpecs()[memsim.Tier2] // 4 DIMMs, DCPM
+	c := memsim.Counters{MediaReads: 10, MediaWrites: 7, MediaWriteBytes: 7 * 256}
+	dimms := IpmctlView(spec, c)
+	if len(dimms) != 4 {
+		t.Fatalf("dimms = %d, want 4", len(dimms))
+	}
+	var reads, writes int64
+	for i, d := range dimms {
+		if d.DIMM != i {
+			t.Fatalf("dimm index %d at slot %d", d.DIMM, i)
+		}
+		reads += d.MediaReads
+		writes += d.MediaWrites
+		if d.WearFraction <= 0 {
+			t.Errorf("DCPM dimm %d has zero wear after writes", i)
+		}
+	}
+	if reads != 10 || writes != 7 {
+		t.Fatalf("split lost accesses: %d/%d", reads, writes)
+	}
+	// Remainder lands on the lowest modules: 10/4 = 2R2 -> [3,3,2,2].
+	if dimms[0].MediaReads != 3 || dimms[3].MediaReads != 2 {
+		t.Fatalf("interleave remainder wrong: %+v", dimms)
+	}
+}
+
+func TestIpmctlViewDRAMNoWear(t *testing.T) {
+	spec := memsim.DefaultSpecs()[memsim.Tier0]
+	dimms := IpmctlView(spec, memsim.Counters{MediaWrites: 100, MediaWriteBytes: 6400})
+	for _, d := range dimms {
+		if d.WearFraction != 0 {
+			t.Fatal("DRAM module reports wear")
+		}
+	}
+}
+
+func TestWriteIpmctlFormat(t *testing.T) {
+	var buf strings.Builder
+	WriteIpmctl(&buf, "local DCPM", []DIMMCounters{{DIMM: 0, MediaReads: 5, MediaWrites: 2}})
+	out := buf.String()
+	for _, want := range []string{"local DCPM", "DimmID=0x1000", "MediaReads=5", "MediaWrites=2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ipmctl output missing %q:\n%s", want, out)
+		}
+	}
+}

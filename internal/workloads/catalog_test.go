@@ -1,0 +1,67 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+)
+
+// The scaled Table II catalog is a contract: these parameters are what
+// EXPERIMENTS.md documents and what the calibration was performed
+// against. Changing them invalidates the recorded numbers, so the exact
+// values are pinned here.
+func TestCatalogPinsScaledTableII(t *testing.T) {
+	cases := []struct {
+		workload string
+		size     Size
+		want     []string
+	}{
+		{"sort", Tiny, []string{"records=320"}},
+		{"sort", Small, []string{"records=32000"}},
+		{"sort", Large, []string{"records=320000"}},
+		{"repartition", Tiny, []string{"records=32"}},
+		{"repartition", Large, []string{"records=320000"}},
+		{"als", Tiny, []string{"users=10", "products=10", "ratings=20"}},
+		{"als", Large, []string{"users=1000", "products=1000", "ratings=2000"}},
+		{"bayes", Tiny, []string{"pages=250", "classes=10"}},
+		{"bayes", Small, []string{"pages=300", "classes=100"}},
+		{"bayes", Large, []string{"pages=1000", "classes=100"}},
+		{"rf", Tiny, []string{"examples=10", "features=10"}},
+		{"rf", Small, []string{"examples=100", "features=50"}},
+		{"rf", Large, []string{"examples=1000", "features=100"}},
+		{"lda", Tiny, []string{"docs=200", "topics=10"}},
+		{"lda", Small, []string{"docs=500", "topics=20"}},
+		{"lda", Large, []string{"docs=1000", "topics=30"}},
+		{"pagerank", Tiny, []string{"pages=50"}},
+		{"pagerank", Small, []string{"pages=500"}},
+		{"pagerank", Large, []string{"pages=5000"}},
+	}
+	for _, c := range cases {
+		w, err := ByName(c.workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		desc := w.Describe(c.size)
+		for _, want := range c.want {
+			if !strings.Contains(desc+" ", want+" ") && !strings.HasSuffix(desc, want) {
+				t.Errorf("%s/%s: %q missing %q", c.workload, c.size, desc, want)
+			}
+		}
+	}
+}
+
+// The paper's ratios: lda topics follow Table II exactly (10/20/30), and
+// the pagerank spread grows by 10x per size step (the compressed 1:10:100).
+func TestCatalogRatios(t *testing.T) {
+	if ldaSizes[Small].Topics != 2*ldaSizes[Tiny].Topics ||
+		ldaSizes[Large].Topics != 3*ldaSizes[Tiny].Topics {
+		t.Error("lda topics must follow Table II's 10/20/30")
+	}
+	if pagerankSizes[Small].Pages != 10*pagerankSizes[Tiny].Pages ||
+		pagerankSizes[Large].Pages != 10*pagerankSizes[Small].Pages {
+		t.Error("pagerank pages must follow the compressed 1:10:100 spread")
+	}
+	if sortSizes[Small].Records != 100*sortSizes[Tiny].Records ||
+		sortSizes[Large].Records != 10*sortSizes[Small].Records {
+		t.Error("sort records must follow Table II's 32KB/320MB/3.2GB ratios (scaled)")
+	}
+}

@@ -1,0 +1,204 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdd"
+)
+
+// TextRecord is a HiBench-style text line: a short random key plus an
+// opaque payload. ByteSize reports the nominal 100-byte line so byte-level
+// traffic matches the catalog sizes regardless of Go's representation.
+type TextRecord struct {
+	Key     string
+	Payload int64
+}
+
+// ByteSize implements rdd.Sized: a nominal 100-byte line.
+func (t TextRecord) ByteSize() int64 { return 100 }
+
+// Hash64 implements rdd.Hashable.
+func (t TextRecord) Hash64() uint64 {
+	return rdd.HashAny(t.Key) ^ uint64(t.Payload)
+}
+
+// genTextRecord draws a record with a 10-character key.
+func genTextRecord(r *rand.Rand) TextRecord {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+	key := make([]byte, 10)
+	for i := range key {
+		key[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return TextRecord{Key: string(key), Payload: r.Int63()}
+}
+
+// Rating is one ALS observation.
+type Rating struct {
+	User, Product int
+	Score         float64
+}
+
+// ByteSize implements rdd.Sized.
+func (r Rating) ByteSize() int64 { return 24 }
+
+// genRatings produces nRatings observations from hidden rank-`rank` user
+// and product factors, so ALS has structure to recover.
+func genRatings(r *rand.Rand, users, products, nRatings, rank int) []Rating {
+	uf := make([][]float64, users)
+	pf := make([][]float64, products)
+	for i := range uf {
+		uf[i] = randVec(r, rank)
+	}
+	for i := range pf {
+		pf[i] = randVec(r, rank)
+	}
+	out := make([]Rating, nRatings)
+	for i := range out {
+		u := r.Intn(users)
+		p := r.Intn(products)
+		s := 0.0
+		for k := 0; k < rank; k++ {
+			s += uf[u][k] * pf[p][k]
+		}
+		out[i] = Rating{User: u, Product: p, Score: s + 0.05*r.NormFloat64()}
+	}
+	return out
+}
+
+func randVec(r *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	return v
+}
+
+// Page is one Bayes training document: a class label and a bag of token
+// ids drawn from a class-biased distribution.
+type Page struct {
+	Class  int
+	Tokens []int
+}
+
+// ByteSize implements rdd.Sized.
+func (p Page) ByteSize() int64 { return int64(16 + 8*len(p.Tokens)) }
+
+// genPage draws a page whose tokens are biased toward a class-specific
+// region of the vocabulary (so Naive Bayes is learnable) with a uniform
+// background mix.
+func genPage(r *rand.Rand, classes, vocab, tokensPerPage int) Page {
+	c := r.Intn(classes)
+	regionSize := vocab / classes
+	if regionSize < 1 {
+		regionSize = 1
+	}
+	base := (c * regionSize) % vocab
+	toks := make([]int, tokensPerPage)
+	for i := range toks {
+		if r.Float64() < 0.7 {
+			toks[i] = (base + r.Intn(regionSize)) % vocab
+		} else {
+			toks[i] = r.Intn(vocab)
+		}
+	}
+	return Page{Class: c, Tokens: toks}
+}
+
+// Example is one random-forest training example with binned features.
+type Example struct {
+	ID    int
+	Label int
+	Bins  []int
+}
+
+// ByteSize implements rdd.Sized.
+func (e Example) ByteSize() int64 { return int64(24 + 8*len(e.Bins)) }
+
+// genExample draws features uniform in bins [0, nBins) and labels from a
+// noisy rule on the first two features, learnable by shallow trees.
+func genExample(r *rand.Rand, id, features, nBins int) Example {
+	bins := make([]int, features)
+	for i := range bins {
+		bins[i] = r.Intn(nBins)
+	}
+	label := 0
+	if bins[0] >= nBins/2 {
+		label = 1
+	}
+	if features > 1 && bins[1] < nBins/4 {
+		label = 1 - label
+	}
+	if r.Float64() < 0.05 { // label noise
+		label = 1 - label
+	}
+	return Example{ID: id, Label: label, Bins: bins}
+}
+
+// WebPage is a pagerank vertex with its outgoing links.
+type WebPage struct {
+	ID    int
+	Links []int
+}
+
+// ByteSize implements rdd.Sized.
+func (w WebPage) ByteSize() int64 { return int64(16 + 8*len(w.Links)) }
+
+// genWebPage draws a page with a skewed out-degree (1..maxDeg) whose link
+// targets are biased toward low page ids, producing hub structure like web
+// graphs.
+func genWebPage(r *rand.Rand, id, pages, maxDeg int) WebPage {
+	deg := 1 + r.Intn(maxDeg)
+	links := make([]int, 0, deg)
+	for i := 0; i < deg; i++ {
+		// Quadratic bias toward low ids (preferential attachment-ish).
+		t := int(float64(pages) * r.Float64() * r.Float64())
+		if t >= pages {
+			t = pages - 1
+		}
+		if t == id {
+			t = (t + 1) % pages
+		}
+		links = append(links, t)
+	}
+	return WebPage{ID: id, Links: links}
+}
+
+// LDADoc is a raw LDA document before topic initialization.
+type LDADoc struct {
+	Words []int
+}
+
+// ByteSize implements rdd.Sized.
+func (d LDADoc) ByteSize() int64 { return int64(24 + 8*len(d.Words)) }
+
+// genLDADoc draws a document from a 2-topic-per-doc mixture over vocab.
+func genLDADoc(r *rand.Rand, vocab, topics, docLen int) LDADoc {
+	// Pick two "true" topics; each topic owns a vocabulary band.
+	t1, t2 := r.Intn(topics), r.Intn(topics)
+	band := vocab / topics
+	if band < 1 {
+		band = 1
+	}
+	words := make([]int, docLen)
+	for i := range words {
+		t := t1
+		if r.Float64() < 0.4 {
+			t = t2
+		}
+		words[i] = ((t*band)%vocab + r.Intn(band)) % vocab
+	}
+	return LDADoc{Words: words}
+}
+
+// fmtParams renders a parameter list like "pages=500 maxdeg=12".
+func fmtParams(kv ...any) string {
+	s := ""
+	for i := 0; i+1 < len(kv); i += 2 {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%v=%v", kv[i], kv[i+1])
+	}
+	return s
+}

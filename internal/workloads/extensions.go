@@ -1,0 +1,228 @@
+package workloads
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/executor"
+	"repro/internal/memsim"
+	"repro/internal/ml"
+	"repro/internal/rdd"
+)
+
+// Extensions returns additional HiBench applications NOT studied by the
+// paper (its Table II covers exactly the seven in All). They exercise the
+// same engine and are useful as extra training data for the tier advisor
+// and as broader-coverage examples.
+func Extensions() []Workload {
+	return []Workload{NewWordCount(), NewKMeans()}
+}
+
+// ExtendedByName resolves across both the paper's workloads and the
+// extensions.
+func ExtendedByName(name string) (Workload, error) {
+	if w, err := ByName(name); err == nil {
+		return w, nil
+	}
+	for _, w := range Extensions() {
+		if w.Name() == name {
+			return w, nil
+		}
+	}
+	_, err := ByName(name) // reuse the error message
+	return nil, err
+}
+
+// ---------------------------------------------------------------------------
+// wordcount
+// ---------------------------------------------------------------------------
+
+type wordcountParams struct {
+	Lines, WordsPerLine, Vocab int
+}
+
+var wordcountSizes = [NumSizes]wordcountParams{
+	Tiny:  {Lines: 100, WordsPerLine: 8, Vocab: 500},
+	Small: {Lines: 5_000, WordsPerLine: 8, Vocab: 2_000},
+	Large: {Lines: 50_000, WordsPerLine: 8, Vocab: 5_000},
+}
+
+// WordCount is HiBench's wordcount: tokenize text lines and count word
+// frequencies with a map-side-combined shuffle.
+type WordCount struct{}
+
+// NewWordCount returns the workload.
+func NewWordCount() *WordCount { return &WordCount{} }
+
+// Name implements Workload.
+func (w *WordCount) Name() string { return "wordcount" }
+
+// Category implements Workload.
+func (w *WordCount) Category() Category { return Micro }
+
+// Describe implements Workload.
+func (w *WordCount) Describe(size Size) string {
+	p := wordcountSizes[size]
+	return fmtParams("lines", p.Lines, "words/line", p.WordsPerLine, "vocab", p.Vocab)
+}
+
+// Run implements Workload.
+func (w *WordCount) Run(app *cluster.App, size Size) Summary {
+	p := wordcountSizes[size]
+	lines := rdd.Generate(app, "wc-input", p.Lines, 0, func(r *rand.Rand, _ int) string {
+		words := make([]string, p.WordsPerLine)
+		for i := range words {
+			words[i] = wordFor(r.Intn(p.Vocab))
+		}
+		return strings.Join(words, " ")
+	})
+	words := rdd.FlatMap(lines, strings.Fields)
+	pairs := rdd.Map(words, func(s string) rdd.Pair[string, int64] { return rdd.KV(s, int64(1)) })
+	counts := rdd.ReduceByKey(pairs, func(a, b int64) int64 { return a + b }, 0)
+
+	var total int64
+	distinct := 0
+	for _, pr := range rdd.Collect(counts) {
+		total += pr.Val
+		distinct++
+	}
+	_ = total
+	return Summary{Records: p.Lines * p.WordsPerLine, Metric: float64(distinct), Note: "distinct_words"}
+}
+
+// wordFor renders a deterministic token for a vocabulary id.
+func wordFor(id int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	buf := make([]byte, 0, 8)
+	buf = append(buf, 'w')
+	for id > 0 || len(buf) == 1 {
+		buf = append(buf, letters[id%26])
+		id /= 26
+	}
+	return string(buf)
+}
+
+// ---------------------------------------------------------------------------
+// kmeans
+// ---------------------------------------------------------------------------
+
+type kmeansParams struct {
+	Points, Dims, K, Iterations int
+}
+
+var kmeansSizes = [NumSizes]kmeansParams{
+	Tiny:  {Points: 300, Dims: 8, K: 4, Iterations: 4},
+	Small: {Points: 3_000, Dims: 16, K: 8, Iterations: 4},
+	Large: {Points: 15_000, Dims: 20, K: 10, Iterations: 4},
+}
+
+// KMeans is HiBench's k-means clustering: broadcast centroids, assign
+// points, reduce per-cluster sums, update centroids — one shuffle per
+// iteration.
+type KMeans struct{}
+
+// NewKMeans returns the workload.
+func NewKMeans() *KMeans { return &KMeans{} }
+
+// Name implements Workload.
+func (w *KMeans) Name() string { return "kmeans" }
+
+// Category implements Workload.
+func (w *KMeans) Category() Category { return MachineLearning }
+
+// Describe implements Workload.
+func (w *KMeans) Describe(size Size) string {
+	p := kmeansSizes[size]
+	return fmtParams("points", p.Points, "dims", p.Dims, "k", p.K, "iters", p.Iterations)
+}
+
+// Run implements Workload.
+func (w *KMeans) Run(app *cluster.App, size Size) Summary {
+	p := kmeansSizes[size]
+	seed := app.Seed()
+
+	// Points drawn around K hidden cluster centers.
+	gen := rand.New(rand.NewSource(seed))
+	hidden := make([][]float64, p.K)
+	for c := range hidden {
+		hidden[c] = randVec(gen, p.Dims)
+		for i := range hidden[c] {
+			hidden[c][i] *= 6 // spread the clusters out
+		}
+	}
+	points := rdd.Cache(rdd.Generate(app, "km-points", p.Points, 0, func(r *rand.Rand, _ int) []float64 {
+		c := hidden[r.Intn(p.K)]
+		v := make([]float64, p.Dims)
+		for i := range v {
+			v[i] = c[i] + r.NormFloat64()*0.4
+		}
+		return v
+	}))
+
+	sample := rdd.Take(points, p.K*3)
+	state := ml.NewKMeansState(p.K, sample, rand.New(rand.NewSource(seed+7)))
+
+	for it := 0; it < p.Iterations; it++ {
+		bc := rdd.NewBroadcast(app, state, state.ByteSize())
+		assigns := rdd.MapPartitions(points,
+			func(ctx *executor.TaskContext, part int, in [][]float64) []rdd.Pair[int, ml.KMeansAccum] {
+				st := bc.Value(ctx) // broadcast centroids
+				local := make(map[int]ml.KMeansAccum, st.K)
+				flops := 0
+				for _, pt := range in {
+					c, _, f := st.Nearest(pt)
+					flops += f
+					acc := local[c]
+					if acc.Sum == nil {
+						acc.Sum = make([]float64, st.Dims)
+					}
+					for i := range pt {
+						acc.Sum[i] += pt[i]
+					}
+					acc.Count++
+					local[c] = acc
+					// Scattered accumulator updates.
+					ctx.MemRand(memsim.Write, 1, int64(8*st.Dims))
+				}
+				ctx.CPU(float64(flops) * ctx.Cost.FlopNS)
+				out := make([]rdd.Pair[int, ml.KMeansAccum], 0, len(local))
+				for c := 0; c < st.K; c++ {
+					if acc, ok := local[c]; ok {
+						out = append(out, rdd.KV(c, acc))
+					}
+				}
+				return out
+			})
+		reduced := rdd.ReduceByKey(assigns, func(a, b ml.KMeansAccum) ml.KMeansAccum {
+			return a.Merge(b)
+		}, 0)
+		accums := make(map[int]ml.KMeansAccum)
+		for _, pr := range rdd.Collect(reduced) {
+			accums[pr.Key] = pr.Val
+		}
+		state.Update(accums)
+	}
+
+	// Verification: mean squared distance to the final centers must be
+	// near the generator's noise floor (0.4^2 x dims).
+	inertia := rdd.Collect(rdd.MapPartitions(points,
+		func(ctx *executor.TaskContext, part int, in [][]float64) []float64 {
+			sum := 0.0
+			for _, pt := range in {
+				_, d, f := state.Nearest(pt)
+				sum += d
+				ctx.CPU(float64(f) * ctx.Cost.FlopNS)
+			}
+			return []float64{sum}
+		}))
+	total := 0.0
+	for _, v := range inertia {
+		total += v
+	}
+	return Summary{
+		Records: p.Points,
+		Metric:  total / float64(p.Points),
+		Note:    "mean_sq_dist",
+	}
+}

@@ -1,0 +1,100 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+)
+
+func TestExtensionsRegistry(t *testing.T) {
+	exts := Extensions()
+	if len(exts) != 2 {
+		t.Fatalf("extensions = %d, want 2", len(exts))
+	}
+	names := map[string]bool{}
+	for _, w := range exts {
+		names[w.Name()] = true
+		for _, s := range AllSizes() {
+			if w.Describe(s) == "" {
+				t.Errorf("%s/%s has no description", w.Name(), s)
+			}
+		}
+	}
+	if !names["wordcount"] || !names["kmeans"] {
+		t.Fatalf("extension names = %v", names)
+	}
+	// Extensions must not shadow the paper's Table II set.
+	for _, w := range All() {
+		if names[w.Name()] {
+			t.Errorf("extension %s collides with a paper workload", w.Name())
+		}
+	}
+}
+
+func TestExtendedByName(t *testing.T) {
+	if w, err := ExtendedByName("kmeans"); err != nil || w.Name() != "kmeans" {
+		t.Fatalf("kmeans lookup: %v %v", w, err)
+	}
+	if w, err := ExtendedByName("sort"); err != nil || w.Name() != "sort" {
+		t.Fatalf("sort lookup through extended path: %v %v", w, err)
+	}
+	if _, err := ExtendedByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestWordCountCorrectness(t *testing.T) {
+	app := testApp()
+	s := NewWordCount().Run(app, Tiny)
+	p := wordcountSizes[Tiny]
+	if s.Note != "distinct_words" {
+		t.Fatalf("summary = %v", s)
+	}
+	// 800 tokens over a 500-word vocabulary: most of the vocabulary seen,
+	// never more than the vocabulary.
+	if int(s.Metric) > p.Vocab {
+		t.Fatalf("distinct words %v exceeds vocabulary %d", s.Metric, p.Vocab)
+	}
+	if int(s.Metric) < p.Vocab/3 {
+		t.Fatalf("distinct words %v suspiciously low", s.Metric)
+	}
+}
+
+func TestKMeansConverges(t *testing.T) {
+	app := testApp()
+	s := NewKMeans().Run(app, Tiny)
+	if s.Note != "mean_sq_dist" {
+		t.Fatalf("summary = %v", s)
+	}
+	// Noise floor is 0.4^2 per dim = 1.28 for 8 dims; clusters sit ~6
+	// apart per dim, so converged inertia must be near the floor and far
+	// below the unclustered spread.
+	if s.Metric > 8.0 {
+		t.Fatalf("kmeans mean squared distance %.2f: did not converge", s.Metric)
+	}
+	if s.Metric <= 0 {
+		t.Fatalf("kmeans inertia %v not positive", s.Metric)
+	}
+}
+
+func TestExtensionsDeterministicAndTierSensitive(t *testing.T) {
+	for _, w := range Extensions() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			run := func(tier memsim.TierID) (Summary, int64) {
+				app := testAppOn(tier)
+				s := w.Run(app, Tiny)
+				return s, int64(app.Elapsed())
+			}
+			s1, e1 := run(memsim.Tier0)
+			s2, e2 := run(memsim.Tier0)
+			if s1 != s2 || e1 != e2 {
+				t.Fatalf("not deterministic: %v/%d vs %v/%d", s1, e1, s2, e2)
+			}
+			_, e3 := run(memsim.Tier3)
+			if e3 <= e1 {
+				t.Fatalf("Tier3 (%d) not slower than Tier0 (%d)", e3, e1)
+			}
+		})
+	}
+}

@@ -1,0 +1,180 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/executor"
+	"repro/internal/memsim"
+	"repro/internal/ml"
+	"repro/internal/rdd"
+)
+
+// rfParams follows Table II's example counts, with feature counts scaled
+// 10x down; trees and depth are fixed HiBench-style hyperparameters.
+type rfParams struct {
+	Examples, Features int
+	Trees, Depth, Bins int
+}
+
+var rfSizes = [NumSizes]rfParams{
+	Tiny:  {Examples: 10, Features: 10, Trees: 4, Depth: 3, Bins: 8},
+	Small: {Examples: 100, Features: 50, Trees: 4, Depth: 3, Bins: 8},
+	Large: {Examples: 1000, Features: 100, Trees: 4, Depth: 3, Bins: 8},
+}
+
+// NodeFeatBin keys the histogram shuffle of level-wise tree building.
+type NodeFeatBin struct {
+	Node, Feat, Bin int
+}
+
+// Hash64 implements rdd.Hashable.
+func (k NodeFeatBin) Hash64() uint64 {
+	return rdd.HashAny(int64(k.Node)<<40 | int64(k.Feat)<<16 | int64(k.Bin))
+}
+
+// RandomForest is HiBench's rf: an ensemble of decision trees built
+// level-wise in the MLlib style — each level runs one distributed
+// histogram job (flatMap to (node, feature, bin) class counts, reduce by
+// key) and the driver picks the best splits.
+type RandomForest struct{}
+
+// NewRandomForest returns the workload.
+func NewRandomForest() *RandomForest { return &RandomForest{} }
+
+// Name implements Workload.
+func (w *RandomForest) Name() string { return "rf" }
+
+// Category implements Workload.
+func (w *RandomForest) Category() Category { return MachineLearning }
+
+// Describe implements Workload.
+func (w *RandomForest) Describe(size Size) string {
+	p := rfSizes[size]
+	return fmtParams("examples", p.Examples, "features", p.Features,
+		"trees", p.Trees, "depth", p.Depth, "bins", p.Bins)
+}
+
+// Run implements Workload.
+func (w *RandomForest) Run(app *cluster.App, size Size) Summary {
+	p := rfSizes[size]
+	const numClasses = 2
+	examples := rdd.Cache(rdd.Generate(app, "rf-examples", p.Examples, 0, func(r *rand.Rand, i int) Example {
+		return genExample(r, i, p.Features, p.Bins)
+	}))
+
+	trees := make([]*ml.Tree, p.Trees)
+	for t := 0; t < p.Trees; t++ {
+		tree := ml.NewTree(p.Depth)
+		treeSeed := app.Seed()*31 + int64(t)
+		// Bootstrap: a deterministic ~80% subsample per tree, keyed by
+		// example identity so sampling is independent of features/labels.
+		sample := rdd.Filter(examples, func(e Example) bool {
+			h := rdd.HashAny(int64(e.ID)*1_000_003 + treeSeed)
+			return h%100 < 80
+		})
+		for level := 0; level < p.Depth; level++ {
+			tr := tree
+			level := level
+			// Distributed histogram job for this level, MLlib-style:
+			// every partition accumulates dense per-node histograms
+			// (sequential array updates), and only the compact
+			// histograms travel to the driver.
+			partHists := rdd.Collect(rdd.MapPartitions(sample,
+				func(ctx *executor.TaskContext, part int, in []Example) []rdd.Pair[NodeFeatBin, ml.BinStats] {
+					local := map[NodeFeatBin]ml.BinStats{}
+					for _, e := range in {
+						node := tr.NodeOf(e.Bins, level)
+						for f := 0; f < p.Features; f++ {
+							k := NodeFeatBin{node, f, e.Bins[f]}
+							s, ok := local[k]
+							if !ok {
+								s = ml.NewBinStats(numClasses)
+							}
+							s.Counts[e.Label]++
+							local[k] = s
+						}
+						// Node routing + one dense histogram row update
+						// per feature: streaming array writes.
+						ctx.MemRand(memsim.Read, 1, 64)
+					}
+					ctx.CPUPerRecord(len(in)*p.Features, ctx.Cost.ReduceNS/4)
+					ctx.MemSeq(memsim.Write, int64(len(local))*int64(8*numClasses+24))
+					out := make([]rdd.Pair[NodeFeatBin, ml.BinStats], 0, len(local))
+					for f := 0; f < p.Features; f++ {
+						for b := 0; b < p.Bins; b++ {
+							for node := 0; node < len(tr.Nodes); node++ {
+								if s, ok := local[NodeFeatBin{node, f, b}]; ok {
+									out = append(out, rdd.KV(NodeFeatBin{node, f, b}, s))
+								}
+							}
+						}
+					}
+					return out
+				}))
+
+			// Driver: merge partition histograms, pick best split per node.
+			byNode := map[int][][]ml.BinStats{}
+			for _, pr := range partHists {
+				k := pr.Key
+				bins, ok := byNode[k.Node]
+				if !ok {
+					bins = make([][]ml.BinStats, p.Features)
+					for f := range bins {
+						bins[f] = make([]ml.BinStats, p.Bins)
+						for b := range bins[f] {
+							bins[f][b] = ml.NewBinStats(numClasses)
+						}
+					}
+					byNode[k.Node] = bins
+				}
+				bins[k.Feat][k.Bin] = bins[k.Feat][k.Bin].Add(pr.Val)
+			}
+			lastLevel := level == p.Depth-1
+			for node, bins := range byNode {
+				split, _ := ml.BestSplit(bins, numClasses, 1e-6)
+				if lastLevel || 2*node+2 >= len(tree.Nodes) {
+					// Bottom of the tree: label a majority leaf
+					// instead of splitting into untrained children.
+					split = ml.Split{Leaf: true, Pred: ml.Majority(bins, numClasses)}
+				}
+				tree.Nodes[node].Split = split
+			}
+		}
+		trees[t] = tree
+	}
+
+	// Scoring: broadcast the forest, majority vote.
+	forestBytes := int64(p.Trees * len(trees[0].Nodes) * 48)
+	bcast := rdd.NewBroadcast(app, trees, forestBytes)
+	correctByPart := rdd.Collect(rdd.MapPartitions(examples,
+		func(ctx *executor.TaskContext, part int, in []Example) []int {
+			forest := bcast.Value(ctx)
+			correct := 0
+			for _, e := range in {
+				votes := [numClasses]int{}
+				for _, tr := range forest {
+					votes[tr.Predict(e.Bins)]++
+				}
+				ctx.CPU(float64(p.Trees*p.Depth) * ctx.Cost.FlopNS)
+				ctx.MemRand(memsim.Read, p.Trees, int64(p.Trees*64))
+				pred := 0
+				if votes[1] > votes[0] {
+					pred = 1
+				}
+				if pred == e.Label {
+					correct++
+				}
+			}
+			return []int{correct}
+		}))
+	correct := 0
+	for _, c := range correctByPart {
+		correct += c
+	}
+	return Summary{
+		Records: p.Examples,
+		Metric:  float64(correct) / float64(p.Examples),
+		Note:    "accuracy",
+	}
+}
