@@ -13,6 +13,17 @@ import (
 	"repro/internal/workloads"
 )
 
+// benchRun executes one experiment cell whose spec is known-valid,
+// failing the benchmark on an unexpected error.
+func benchRun(b *testing.B, spec hibench.RunSpec) hibench.RunResult {
+	b.Helper()
+	res, err := hibench.Run(spec)
+	if err != nil {
+		b.Fatalf("run %s: %v", spec, err)
+	}
+	return res
+}
+
 // ---------------------------------------------------------------------------
 // Table I — idle latency and bandwidth microbenchmarks per tier.
 // ---------------------------------------------------------------------------
@@ -40,7 +51,7 @@ func BenchmarkFig2Time(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				var t0, t3 float64
 				for _, tier := range memsim.AllTiers() {
-					res := hibench.MustRun(hibench.RunSpec{
+					res := benchRun(b, hibench.RunSpec{
 						Workload: w, Size: workloads.Small, Tier: tier,
 					})
 					switch tier {
@@ -66,7 +77,7 @@ func BenchmarkFig2Accesses(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		reads, writes = 0, 0
 		for _, w := range workloads.Names() {
-			res := hibench.MustRun(hibench.RunSpec{
+			res := benchRun(b, hibench.RunSpec{
 				Workload: w, Size: workloads.Small, Tier: memsim.Tier2,
 			})
 			reads += res.Metrics.MediaReads
@@ -84,10 +95,10 @@ func BenchmarkFig2Accesses(b *testing.B) {
 func BenchmarkFig2Energy(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		dram := hibench.MustRun(hibench.RunSpec{
+		dram := benchRun(b, hibench.RunSpec{
 			Workload: "bayes", Size: workloads.Small, Tier: memsim.Tier0,
 		}).DRAMEnergy.PerDIMMJ
-		dcpm := hibench.MustRun(hibench.RunSpec{
+		dcpm := benchRun(b, hibench.RunSpec{
 			Workload: "bayes", Size: workloads.Small, Tier: memsim.Tier2,
 		}).DCPMEnergy.PerDIMMJ
 		ratio = dcpm / dram
@@ -229,7 +240,7 @@ func BenchmarkAblationContention(b *testing.B) {
 
 func BenchmarkEngineShuffleSmall(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		hibench.MustRun(hibench.RunSpec{
+		benchRun(b, hibench.RunSpec{
 			Workload: "repartition", Size: workloads.Small, Tier: memsim.Tier0,
 		})
 	}
@@ -323,7 +334,7 @@ func BenchmarkMemsimRecordBurst(b *testing.B) {
 
 func BenchmarkRDDWordCountPipeline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		hibench.MustRun(hibench.RunSpec{
+		benchRun(b, hibench.RunSpec{
 			Workload: "bayes", Size: workloads.Tiny, Tier: memsim.Tier0,
 		})
 	}
@@ -348,3 +359,35 @@ func BenchmarkTierProbeLatency(b *testing.B) {
 		numa.ProbeIdleLatency(sys, memsim.Tier2, 1024)
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Two-phase stage execution — sequential vs parallel phase-1 compute on the
+// same workload. Virtual time is identical by construction (asserted below);
+// the benchmark measures the wall-clock win from computing task data on real
+// cores. On a single-core runner the two are expected to tie.
+// ---------------------------------------------------------------------------
+
+func benchStageWorkers(b *testing.B, workers int) {
+	spec := hibench.RunSpec{
+		Workload: "sort", Size: workloads.Large, Tier: memsim.Tier0,
+		TaskParallelism: workers,
+	}
+	ref := benchRun(b, hibench.RunSpec{
+		Workload: "sort", Size: workloads.Large, Tier: memsim.Tier0,
+		TaskParallelism: 1,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := benchRun(b, spec)
+		if res.Duration != ref.Duration {
+			b.Fatalf("virtual time diverged: %v workers %v, sequential %v",
+				workers, res.Duration, ref.Duration)
+		}
+	}
+}
+
+func BenchmarkStageSequential(b *testing.B) { benchStageWorkers(b, 1) }
+
+// BenchmarkStageParallel uses all available cores (TaskParallelism 0 selects
+// runtime.GOMAXPROCS(0)).
+func BenchmarkStageParallel(b *testing.B) { benchStageWorkers(b, 0) }

@@ -23,6 +23,16 @@ import (
 	"repro/internal/workloads"
 )
 
+// run executes one experiment cell, exiting with a diagnostic on error.
+func run(spec hibench.RunSpec) hibench.RunResult {
+	res, err := hibench.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return res
+}
+
 func main() {
 	holdout := flag.String("holdout", "pagerank", "workload to hold out of training")
 	seed := flag.Int64("seed", 1, "experiment seed")
@@ -52,11 +62,11 @@ func main() {
 		Headers: []string{"size", "tier", "predicted", "observed", "error %"},
 	}
 	for _, size := range workloads.AllSizes() {
-		profile := hibench.MustRun(hibench.RunSpec{
+		profile := run(hibench.RunSpec{
 			Workload: *holdout, Size: size, Tier: memsim.Tier0, Seed: *seed,
 		})
 		for _, tier := range memsim.AllTiers() {
-			obs := hibench.MustRun(hibench.RunSpec{
+			obs := run(hibench.RunSpec{
 				Workload: *holdout, Size: size, Tier: tier, Seed: *seed,
 			}).Duration.Seconds()
 			pred := advisor.Predict(profile, tier)
@@ -67,7 +77,7 @@ func main() {
 	}
 	t.Render(os.Stdout)
 
-	profile := hibench.MustRun(hibench.RunSpec{
+	profile := run(hibench.RunSpec{
 		Workload: *holdout, Size: workloads.Large, Tier: memsim.Tier0, Seed: *seed,
 	})
 	best, predicted := advisor.Recommend(profile, nil)

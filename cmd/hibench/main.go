@@ -5,7 +5,7 @@
 // Usage:
 //
 //	hibench -workload pagerank -size large -tier 2 [-executors 4]
-//	        [-cores 10] [-cap 0.4] [-seed 1] [-json]
+//	        [-cores 10] [-cap 0.4] [-tasks 8] [-seed 1] [-json]
 package main
 
 import (
@@ -27,6 +27,7 @@ func main() {
 	cores := flag.Int("cores", 0, "cores per executor (0 = default 40)")
 	cap := flag.Float64("cap", 0, "MBA bandwidth cap fraction (0 = uncapped)")
 	seed := flag.Int64("seed", 1, "experiment seed")
+	tasks := flag.Int("tasks", 0, "phase-1 compute workers (0 = all cores, 1 = sequential; virtual time is identical)")
 	asJSON := flag.Bool("json", false, "emit the record as JSON")
 	flag.Parse()
 
@@ -50,6 +51,7 @@ func main() {
 		Executors:        *executors,
 		CoresPerExecutor: *cores,
 		BandwidthCap:     *cap,
+		TaskParallelism:  *tasks,
 		Seed:             *seed,
 	})
 	if err != nil {

@@ -10,18 +10,29 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/hibench"
 	"repro/internal/memsim"
 	"repro/internal/workloads"
 )
 
+// run executes one experiment cell, exiting with a diagnostic on error.
+func run(spec hibench.RunSpec) hibench.RunResult {
+	res, err := hibench.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return res
+}
+
 func main() {
 	fmt.Println("pagerank across memory tiers (1 executor x 40 cores, large graph)")
 	fmt.Println()
 	var t0 float64
 	for _, tier := range memsim.AllTiers() {
-		res := hibench.MustRun(hibench.RunSpec{
+		res := run(hibench.RunSpec{
 			Workload: "pagerank", Size: workloads.Large, Tier: tier,
 		})
 		d := res.Duration.Seconds()
@@ -39,7 +50,7 @@ func main() {
 	for _, layout := range []struct{ execs, cores int }{
 		{1, 40}, {2, 20}, {4, 10}, {8, 5}, {1, 10}, {4, 2},
 	} {
-		res := hibench.MustRun(hibench.RunSpec{
+		res := run(hibench.RunSpec{
 			Workload: "pagerank", Size: workloads.Large, Tier: memsim.Tier2,
 			Executors: layout.execs, CoresPerExecutor: layout.cores,
 		})

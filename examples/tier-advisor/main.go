@@ -9,12 +9,23 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/hibench"
 	"repro/internal/memsim"
 	"repro/internal/workloads"
 )
+
+// run executes one experiment cell, exiting with a diagnostic on error.
+func run(spec hibench.RunSpec) hibench.RunResult {
+	res, err := hibench.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return res
+}
 
 func main() {
 	// Train the advisor on the micro and ML workloads...
@@ -27,13 +38,13 @@ func main() {
 	const target = "pagerank"
 	fmt.Printf("profiling %s once per size on Tier 0, predicting the rest:\n\n", target)
 	for _, size := range workloads.AllSizes() {
-		profile := hibench.MustRun(hibench.RunSpec{
+		profile := run(hibench.RunSpec{
 			Workload: target, Size: size, Tier: memsim.Tier0,
 		})
 		fmt.Printf("  %s/%-5s measured on Tier 0: %.4fs\n", target, size, profile.Duration.Seconds())
 		for _, tier := range []memsim.TierID{memsim.Tier1, memsim.Tier2, memsim.Tier3} {
 			pred := advisor.Predict(profile, tier)
-			actual := hibench.MustRun(hibench.RunSpec{
+			actual := run(hibench.RunSpec{
 				Workload: target, Size: size, Tier: tier,
 			}).Duration.Seconds()
 			fmt.Printf("    %-7s predicted %8.4fs   actual %8.4fs   error %+5.1f%%\n",

@@ -85,6 +85,31 @@ func (m *Manager) Contains(id BlockID) bool {
 	return ok
 }
 
+// Peek returns a block's data without recording a hit or renewing its LRU
+// position: a read-only view of the store as of stage start, used by
+// phase-1 task compute running concurrently. The hit and its LRU effect
+// are staged by the task context and applied later via ReplayHit.
+func (m *Manager) Peek(id BlockID) (data any, bytes int64, items int, ok bool) {
+	e, found := m.blocks[id]
+	if !found {
+		return nil, 0, 0, false
+	}
+	return e.data, e.bytes, e.items, true
+}
+
+// ReplayHit applies a staged cache hit at commit time: the hit is counted
+// and the block's LRU position renewed if it is still resident (a bounded
+// cache may have evicted it between the task's read and its commit).
+func (m *Manager) ReplayHit(id BlockID) {
+	m.hits++
+	if e, ok := m.blocks[id]; ok {
+		m.lru.MoveToFront(e.elem)
+	}
+}
+
+// ReplayMiss applies a staged cache miss at commit time.
+func (m *Manager) ReplayMiss() { m.misses++ }
+
 // Put stores a block, evicting least-recently-used blocks if needed, and
 // returns the ids of evicted blocks so callers can account recomputation.
 // A block larger than the whole capacity is not stored (Spark drops such

@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/energy"
 	"repro/internal/executor"
@@ -49,6 +50,12 @@ type Conf struct {
 	// fails with this probability and is retried (Spark re-runs failed
 	// tasks from lineage). Zero disables injection.
 	TaskFailureRate float64
+	// TaskParallelism bounds the worker goroutines that compute real task
+	// data concurrently during phase 1 of stage execution. Virtual-time
+	// results are identical for any value (see DESIGN.md, "Execution
+	// model"); only wall-clock changes. Zero selects runtime.GOMAXPROCS(0);
+	// 1 forces sequential computation.
+	TaskParallelism int
 	// Seed drives all randomness in the application.
 	Seed int64
 	// Cost overrides the cost model; zero value selects the default.
@@ -88,6 +95,9 @@ func (c Conf) Validate() error {
 	}
 	if c.TaskFailureRate < 0 || c.TaskFailureRate >= 1 {
 		return fmt.Errorf("cluster: task failure rate %v out of [0,1)", c.TaskFailureRate)
+	}
+	if c.TaskParallelism < 0 {
+		return fmt.Errorf("cluster: task parallelism %d negative", c.TaskParallelism)
 	}
 	return c.Binding.Validate()
 }
@@ -169,6 +179,7 @@ func (a *App) startExecutors() {
 			a.cost, ex.Blocks, a.store, a.conf.Seed))
 		ctx.CPU(a.cost.ExecStartupNS)
 		ctx.MemSeq(memsim.Write, a.cost.ExecStartupBytes)
+		ctx.Commit() // publish the staged startup counters
 		tasks = append(tasks, executor.SimTask{Profile: ctx.Profile(), ExecID: ex.ID})
 	}
 	executor.SimulateStage(a.kern, a.pool, tasks, a.cost)
@@ -197,6 +208,23 @@ func (a *App) Tracer() *trace.Recorder { return a.tracer }
 
 // TaskFailureRate implements scheduler.Env.
 func (a *App) TaskFailureRate() float64 { return a.conf.TaskFailureRate }
+
+// TaskParallelism implements scheduler.Env: the phase-1 worker count,
+// defaulting to runtime.GOMAXPROCS(0) when the conf leaves it zero.
+func (a *App) TaskParallelism() int {
+	if a.conf.TaskParallelism > 0 {
+		return a.conf.TaskParallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// EngineCounters exposes the scheduler's engine-level counter registry
+// (tasks computed, parallel vs sequential stages).
+func (a *App) EngineCounters() *telemetry.Registry { return a.sched.Counters() }
+
+// SchedulerStats exposes the raw scheduler statistics (Metrics folds most
+// of them in, but not jobs and task retries).
+func (a *App) SchedulerStats() scheduler.Stats { return a.sched.Stats() }
 
 // EnableTracing turns on stage-span recording and returns the recorder.
 // Call it before running jobs; spans land in chrome://tracing format via

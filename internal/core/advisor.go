@@ -46,11 +46,11 @@ func (a *TierAdvisor) Train(names []string, seed int64) {
 	specs := memsim.DefaultSpecs()
 	for _, w := range names {
 		for _, size := range workloads.AllSizes() {
-			profile := hibench.MustRun(hibench.RunSpec{
+			profile := mustRun(hibench.RunSpec{
 				Workload: w, Size: size, Tier: memsim.Tier0, Seed: seed,
 			})
 			for _, tier := range memsim.AllTiers() {
-				obs := hibench.MustRun(hibench.RunSpec{
+				obs := mustRun(hibench.RunSpec{
 					Workload: w, Size: size, Tier: tier, Seed: seed,
 				})
 				xs = append(xs, advisorFeatures(profile, specs[tier]))
@@ -108,11 +108,11 @@ func (a *TierAdvisor) Evaluate(workload string, seed int64) float64 {
 	a.mustBeTrained()
 	var ape []float64
 	for _, size := range workloads.AllSizes() {
-		profile := hibench.MustRun(hibench.RunSpec{
+		profile := mustRun(hibench.RunSpec{
 			Workload: workload, Size: size, Tier: memsim.Tier0, Seed: seed,
 		})
 		for _, tier := range memsim.AllTiers() {
-			obs := hibench.MustRun(hibench.RunSpec{
+			obs := mustRun(hibench.RunSpec{
 				Workload: workload, Size: size, Tier: tier, Seed: seed,
 			}).Duration.Seconds()
 			pred := a.Predict(profile, tier)

@@ -1,1 +1,19 @@
+// Package core contains the paper's experiment harnesses: the figure
+// reproductions (fig2–fig56), the tier advisor and its predictors, the
+// placement studies and the wear model.
 package core
+
+import "repro/internal/hibench"
+
+// mustRun executes one experiment cell, panicking on a spec error.
+// Experiment harnesses construct their RunSpecs from validated tables and
+// enumerations, so a run error here is a programming bug, not an input
+// error; code with user-supplied specs must call hibench.Run and handle
+// the error.
+func mustRun(spec hibench.RunSpec) hibench.RunResult {
+	res, err := hibench.Run(spec)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

@@ -234,7 +234,7 @@ func TestAdvisorPredictsHeldOutWorkload(t *testing.T) {
 	}
 
 	// Recommend must pick the fastest tier (Tier 0 given equal capacity).
-	profile := hibench.MustRun(hibench.RunSpec{
+	profile := mustRun(hibench.RunSpec{
 		Workload: "pagerank", Size: workloads.Large, Tier: memsim.Tier0,
 	})
 	best, pred := adv.Recommend(profile, nil)

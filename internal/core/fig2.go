@@ -48,7 +48,7 @@ func RunCharacterization(names []string, sizes []workloads.Size, tiers []memsim.
 	for _, w := range names {
 		for _, size := range sizes {
 			for _, tier := range tiers {
-				res := hibench.MustRun(hibench.RunSpec{
+				res := mustRun(hibench.RunSpec{
 					Workload: w, Size: size, Tier: tier, Seed: seed,
 				})
 				c.Results[CellKey{w, size, tier}] = res

@@ -45,7 +45,7 @@ func RunMBASweep(names []string, caps []float64, tier memsim.TierID, seed int64)
 		for _, cap := range caps {
 			var durations []float64
 			for _, size := range workloads.AllSizes() {
-				res := hibench.MustRun(hibench.RunSpec{
+				res := mustRun(hibench.RunSpec{
 					Workload: w, Size: size, Tier: tier,
 					BandwidthCap: cap, Seed: seed,
 				})

@@ -59,7 +59,7 @@ func RunScalingGrid(workload string, size workloads.Size, tier memsim.TierID,
 		Tier:     tier,
 		Cells:    make(map[[2]int]ScalingCell),
 	}
-	base := hibench.MustRun(hibench.RunSpec{
+	base := mustRun(hibench.RunSpec{
 		Workload: workload, Size: size, Tier: tier,
 		Executors: 1, CoresPerExecutor: 40, Seed: seed,
 	})
@@ -68,7 +68,7 @@ func RunScalingGrid(workload string, size workloads.Size, tier memsim.TierID,
 		for _, c := range cores {
 			cell := ScalingCell{Executors: e, TotalCores: c}
 			if c >= e {
-				res := hibench.MustRun(hibench.RunSpec{
+				res := mustRun(hibench.RunSpec{
 					Workload: workload, Size: size, Tier: tier,
 					Executors: e, CoresPerExecutor: c / e, Seed: seed,
 				})

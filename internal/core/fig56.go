@@ -36,7 +36,7 @@ func RunMetricCorrelation(workload string, seeds []int64) MetricCorrelation {
 	var snapshots []telemetry.RunMetrics
 	for _, size := range workloads.AllSizes() {
 		for _, seed := range seeds {
-			res := hibench.MustRun(hibench.RunSpec{
+			res := mustRun(hibench.RunSpec{
 				Workload: workload, Size: size, Tier: memsim.Tier0, Seed: seed,
 			})
 			durations = append(durations, res.Duration.Seconds())
@@ -120,7 +120,7 @@ func RunSpecCorrelation(workload string, size workloads.Size, seed int64) SpecCo
 	specs := memsim.DefaultSpecs()
 	var times, lats, bws []float64
 	for _, tier := range memsim.AllTiers() {
-		res := hibench.MustRun(hibench.RunSpec{
+		res := mustRun(hibench.RunSpec{
 			Workload: workload, Size: size, Tier: tier, Seed: seed,
 		})
 		times = append(times, res.Duration.Seconds())

@@ -55,7 +55,7 @@ func RunPlacementStudy(workload string, size workloads.Size, seed int64) *Placem
 	study := &PlacementStudy{Workload: workload, Size: size}
 	for _, sp := range StandardPlacements() {
 		p := sp.P
-		res := hibench.MustRun(hibench.RunSpec{
+		res := mustRun(hibench.RunSpec{
 			Workload: workload, Size: size, Tier: p.Heap,
 			Placement: &p, Seed: seed,
 		})
@@ -130,7 +130,7 @@ func RunInterleaveSweep(workload string, size workloads.Size, fractions []float6
 			Heap: memsim.Tier0, Shuffle: memsim.Tier0, Cache: memsim.Tier0,
 			HeapSpill: memsim.Tier2, HeapSpillFrac: f,
 		}
-		res := hibench.MustRun(hibench.RunSpec{
+		res := mustRun(hibench.RunSpec{
 			Workload: workload, Size: size, Tier: memsim.Tier0,
 			Placement: &p, Seed: seed,
 		})

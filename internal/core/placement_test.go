@@ -88,7 +88,7 @@ func TestUniformPlacementMatchesMembind(t *testing.T) {
 
 func mustDuration(t *testing.T, w string, p *executor.Placement) int64 {
 	t.Helper()
-	res := hibench.MustRun(hibench.RunSpec{
+	res := mustRun(hibench.RunSpec{
 		Workload: w, Size: workloads.Small, Tier: memsim.Tier2, Placement: p,
 	})
 	return int64(res.Duration)

@@ -47,11 +47,11 @@ func ComparePredictors(names []string, seed int64) []PredictorScore {
 	specs := memsim.DefaultSpecs()
 	for _, w := range names {
 		for _, size := range workloads.AllSizes() {
-			profile := hibench.MustRun(hibench.RunSpec{
+			profile := mustRun(hibench.RunSpec{
 				Workload: w, Size: size, Tier: memsim.Tier0, Seed: seed,
 			})
 			for _, tier := range memsim.AllTiers() {
-				y := hibench.MustRun(hibench.RunSpec{
+				y := mustRun(hibench.RunSpec{
 					Workload: w, Size: size, Tier: tier, Seed: seed,
 				}).Duration.Seconds()
 				all = append(all, obs{

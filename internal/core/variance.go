@@ -38,7 +38,7 @@ func RunVarianceStudy(names []string, size workloads.Size, seeds []int64) []Cell
 		for _, tier := range memsim.AllTiers() {
 			var times []float64
 			for _, seed := range seeds {
-				res := hibench.MustRun(hibench.RunSpec{
+				res := mustRun(hibench.RunSpec{
 					Workload: w, Size: size, Tier: tier, Seed: seed,
 				})
 				times = append(times, res.Duration.Seconds())

@@ -30,7 +30,7 @@ const ratedCycles = 1e5
 // ProjectWear measures one workload's DCPM write rate and extrapolates
 // device lifetime under continuous operation.
 func ProjectWear(workload string, size workloads.Size, seed int64) WearReport {
-	res := hibench.MustRun(hibench.RunSpec{
+	res := mustRun(hibench.RunSpec{
 		Workload: workload, Size: size, Tier: memsim.Tier2, Seed: seed,
 	})
 	secs := res.Duration.Seconds()

@@ -64,9 +64,46 @@ func (e *placementError) Error() string {
 	return "executor: placement references invalid tier " + e.tier.String()
 }
 
+// blockOp is one staged block-manager operation: a Put of computed data,
+// or the hit/miss outcome of a Get, replayed against the live manager at
+// commit time so LRU order and cache stats advance in partition order.
+type blockOp struct {
+	id    blockmgr.BlockID
+	data  any
+	bytes int64
+	items int
+	kind  blockOpKind
+}
+
+type blockOpKind int
+
+const (
+	blockPut blockOpKind = iota
+	blockHit
+	blockMiss
+)
+
+// shufflePut is one staged shuffle segment write.
+type shufflePut struct {
+	shuffleID int
+	mapPart   int
+	reduce    int
+	records   any
+	items     int
+	bytes     int64
+}
+
 // TaskContext is handed to every task's computation. It carries the
 // executor placement, the charging API that turns real data movement into
 // a cost Profile (and tier counters), and handles to the storage layers.
+//
+// During phase-1 compute the context runs on a worker goroutine, so every
+// side effect is staged task-locally: tier counter deltas, block-manager
+// operations and shuffle segments accumulate in the context and are
+// published by Commit, which the scheduler calls once per task in
+// partition order after the stage's workers join. Reads go through a
+// snapshot view of stage-start state (blockmgr.Peek, committed upstream
+// shuffles) plus the task's own staged writes.
 type TaskContext struct {
 	// ExecID is the executor this task is assigned to.
 	ExecID int
@@ -92,6 +129,14 @@ type TaskContext struct {
 
 	profile Profile
 	seen    map[uint64]struct{}
+
+	// Staged side effects, published by Commit in partition order.
+	tierDeltas  [memsim.NumTiers]memsim.Counters
+	tierTouched [memsim.NumTiers]*memsim.Tier
+	blockOps    []blockOp
+	overlay     map[blockmgr.BlockID]blockOp // this task's own staged puts
+	shufflePuts []shufflePut
+	committed   bool
 }
 
 // NewTaskContext builds a context with all categories on one tier; rand is
@@ -151,12 +196,21 @@ func (c *TaskContext) CPUPerRecord(n int, perRecordNS float64) {
 	}
 }
 
+// charge computes a burst's counter delta (pure: no shared tier state is
+// touched) and stages it task-locally for Commit.
+func (c *TaskContext) charge(t *memsim.Tier, op memsim.Op, pattern memsim.Pattern, bytes, items int64) int64 {
+	delta, lines := t.BurstDelta(op, pattern, bytes, items)
+	c.tierDeltas[t.Spec.ID].Add(delta)
+	c.tierTouched[t.Spec.ID] = t
+	return lines
+}
+
 // seqOn charges a sequential burst on an arbitrary tier.
 func (c *TaskContext) seqOn(t *memsim.Tier, op memsim.Op, bytes int64) {
 	if bytes <= 0 {
 		return
 	}
-	lines := t.RecordBurst(op, memsim.Sequential, bytes, 1)
+	lines := c.charge(t, op, memsim.Sequential, bytes, 1)
 	tc := &c.profile.Tiers[t.Spec.ID]
 	tc.StallLines[op] += float64(lines) * memsim.Sequential.LatencyExposure()
 	tc.SeqBytes[op] += lines * t.Spec.Kind.LineSize()
@@ -173,7 +227,7 @@ func (c *TaskContext) randOn(t *memsim.Tier, op memsim.Op, items int, bytes int6
 		items *= churn
 		bytes *= int64(churn)
 	}
-	lines := t.RecordBurst(op, memsim.Random, bytes, int64(items))
+	lines := c.charge(t, op, memsim.Random, bytes, int64(items))
 	tc := &c.profile.Tiers[t.Spec.ID]
 	tc.StallLines[op] += float64(lines) * memsim.Random.LatencyExposure()
 	tc.RandBytes[op] += lines * t.Spec.Kind.LineSize()
@@ -232,6 +286,85 @@ func (c *TaskContext) Disk(bytes int64) {
 		bw = 2e9
 	}
 	c.CPU(float64(bytes) / bw * 1e9)
+}
+
+// GetBlock reads a cached block through the task's staging layer: the
+// task's own staged puts are consulted first (a task that just cached a
+// partition sees it immediately, exactly as under sequential execution),
+// then a read-only snapshot of the block manager as of stage start. The
+// hit/miss outcome is staged and replayed against the live manager at
+// commit time so LRU order and cache stats advance in partition order.
+func (c *TaskContext) GetBlock(id blockmgr.BlockID) (data any, bytes int64, items int, ok bool) {
+	if op, found := c.overlay[id]; found {
+		c.blockOps = append(c.blockOps, blockOp{id: id, kind: blockHit})
+		return op.data, op.bytes, op.items, true
+	}
+	if c.Blocks == nil {
+		return nil, 0, 0, false
+	}
+	data, bytes, items, ok = c.Blocks.Peek(id)
+	if ok {
+		c.blockOps = append(c.blockOps, blockOp{id: id, kind: blockHit})
+	} else {
+		c.blockOps = append(c.blockOps, blockOp{id: id, kind: blockMiss})
+	}
+	return data, bytes, items, ok
+}
+
+// PutBlock stages a block store; the task's later GetBlock calls see it,
+// other tasks only after Commit.
+func (c *TaskContext) PutBlock(id blockmgr.BlockID, data any, bytes int64, items int) {
+	op := blockOp{id: id, data: data, bytes: bytes, items: items, kind: blockPut}
+	c.blockOps = append(c.blockOps, op)
+	if c.overlay == nil {
+		c.overlay = make(map[blockmgr.BlockID]blockOp)
+	}
+	c.overlay[id] = op
+}
+
+// PutShuffleSegment stages one map-output segment. Segments become
+// visible to reduce tasks only after Commit, which runs before any
+// downstream stage starts (stages are barriers), so readers always see
+// fully committed shuffles.
+func (c *TaskContext) PutShuffleSegment(shuffleID, mapPart, reduce int, records any, items int, bytes int64) {
+	c.shufflePuts = append(c.shufflePuts, shufflePut{
+		shuffleID: shuffleID, mapPart: mapPart, reduce: reduce,
+		records: records, items: items, bytes: bytes,
+	})
+}
+
+// Commit publishes the task's staged side effects — tier counter deltas,
+// block-manager operations, shuffle segments — in the order they were
+// recorded. The scheduler calls it once per task in partition order after
+// the stage's compute phase joins; committing twice is a scheduling bug
+// and panics.
+func (c *TaskContext) Commit() {
+	if c.committed {
+		panic(fmt.Sprintf("executor: task %d context committed twice", c.Partition))
+	}
+	c.committed = true
+	for id, t := range c.tierTouched {
+		if t != nil {
+			t.MergeCounters(c.tierDeltas[id])
+		}
+	}
+	if c.Blocks != nil {
+		for _, op := range c.blockOps {
+			switch op.kind {
+			case blockPut:
+				c.Blocks.Put(op.id, op.data, op.bytes, op.items)
+			case blockHit:
+				c.Blocks.ReplayHit(op.id)
+			case blockMiss:
+				c.Blocks.ReplayMiss()
+			}
+		}
+	}
+	if c.Shuffle != nil {
+		for _, p := range c.shufflePuts {
+			c.Shuffle.Put(p.shuffleID, p.mapPart, p.reduce, c.ExecID, p.records, p.items, p.bytes)
+		}
+	}
 }
 
 // ReadShuffleSegment charges the cost of opening and draining one shuffle

@@ -46,6 +46,7 @@ func TestTaskContextChargesCountersAndProfile(t *testing.T) {
 	if p.Tiers[memsim.Tier2].StallLines[memsim.Write] != float64(10*churn) {
 		t.Errorf("write stall lines = %v, want %d", p.Tiers[memsim.Tier2].StallLines[memsim.Write], 10*churn)
 	}
+	ctx.Commit() // counters stage task-locally until commit
 	c := sys.Tier(memsim.Tier2).Counters()
 	if c.MediaReads != 100 || c.MediaWrites != 10*churn {
 		t.Errorf("tier counters reads/writes = %d/%d, want 100/%d", c.MediaReads, c.MediaWrites, 10*churn)
@@ -69,6 +70,7 @@ func TestTaskContextIgnoresNonPositive(t *testing.T) {
 	if p := ctx.Profile(); p.CPUNS != 0 || p.TotalMediaBytes() != 0 {
 		t.Errorf("non-positive charges leaked into profile: %+v", p)
 	}
+	ctx.Commit()
 	if c := sys.Tier(memsim.Tier0).Counters(); c.TotalAccesses() != 0 {
 		t.Error("non-positive charges leaked into counters")
 	}
@@ -341,6 +343,7 @@ func TestPlacedContextRoutesCategories(t *testing.T) {
 	ctx.ShuffleSeq(memsim.Write, 64_000)
 	ctx.CacheSeq(memsim.Write, 64_000)
 	ctx.ShuffleRand(memsim.Read, 10, 640)
+	ctx.Commit() // nil Blocks/Shuffle: commit publishes only tier deltas
 
 	if sys.Tier(memsim.Tier0).Counters().ReadBytes != 64_000 {
 		t.Error("heap read not routed to Tier 0")

@@ -39,6 +39,10 @@ type RunSpec struct {
 	// Placement optionally routes heap/shuffle/cache traffic to distinct
 	// tiers; nil binds everything to Tier (the paper's membind).
 	Placement *executor.Placement
+	// TaskParallelism bounds the phase-1 compute workers; zero selects
+	// runtime.GOMAXPROCS(0), 1 forces sequential computation. Virtual-time
+	// results are identical either way.
+	TaskParallelism int
 	// Seed defaults to 1.
 	Seed int64
 }
@@ -95,6 +99,7 @@ func Run(spec RunSpec) (RunResult, error) {
 		DefaultParallelism: spec.Parallelism,
 		BandwidthCap:       spec.BandwidthCap,
 		Placement:          spec.Placement,
+		TaskParallelism:    spec.TaskParallelism,
 		Seed:               spec.Seed,
 	}
 	if err := conf.Validate(); err != nil {
@@ -114,14 +119,4 @@ func Run(spec RunSpec) (RunResult, error) {
 	res.NVMCounters.Add(app.System().Tier(memsim.Tier2).Counters())
 	res.NVMCounters.Add(app.System().Tier(memsim.Tier3).Counters())
 	return res, nil
-}
-
-// MustRun is Run for experiment code where a spec error is a programming
-// bug.
-func MustRun(spec RunSpec) RunResult {
-	res, err := Run(spec)
-	if err != nil {
-		panic(err)
-	}
-	return res
 }

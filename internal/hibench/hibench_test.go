@@ -46,17 +46,19 @@ func TestRunInvalidConf(t *testing.T) {
 	}
 }
 
-func TestMustRunPanicsOnBadSpec(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("MustRun did not panic on a bad spec")
-		}
-	}()
-	MustRun(RunSpec{Workload: "nope"})
+// mustRun executes a cell that the test knows is valid, failing the test
+// on an unexpected error.
+func mustRun(tb testing.TB, spec RunSpec) RunResult {
+	tb.Helper()
+	res, err := Run(spec)
+	if err != nil {
+		tb.Fatalf("run %s: %v", spec, err)
+	}
+	return res
 }
 
 func TestRunProducesFullRecord(t *testing.T) {
-	res := MustRun(RunSpec{Workload: "repartition", Size: workloads.Tiny, Tier: memsim.Tier2})
+	res := mustRun(t, RunSpec{Workload: "repartition", Size: workloads.Tiny, Tier: memsim.Tier2})
 	if res.Duration <= 0 {
 		t.Error("no duration")
 	}
@@ -79,7 +81,7 @@ func TestRunProducesFullRecord(t *testing.T) {
 
 func TestRunWithPlacementSplitsTraffic(t *testing.T) {
 	p := executor.Placement{Heap: memsim.Tier0, Shuffle: memsim.Tier2, Cache: memsim.Tier0}
-	res := MustRun(RunSpec{Workload: "repartition", Size: workloads.Small,
+	res := mustRun(t, RunSpec{Workload: "repartition", Size: workloads.Small,
 		Tier: memsim.Tier0, Placement: &p})
 	if res.NVMCounters.TotalAccesses() == 0 {
 		t.Fatal("shuffle-on-NVM placement produced no NVM accesses")
@@ -91,8 +93,8 @@ func TestRunWithPlacementSplitsTraffic(t *testing.T) {
 
 func TestRunDeterministicAcrossCalls(t *testing.T) {
 	spec := RunSpec{Workload: "bayes", Size: workloads.Tiny, Tier: memsim.Tier1, Seed: 5}
-	a := MustRun(spec)
-	b := MustRun(spec)
+	a := mustRun(t, spec)
+	b := mustRun(t, spec)
 	if a.Duration != b.Duration {
 		t.Fatalf("durations differ: %v vs %v", a.Duration, b.Duration)
 	}

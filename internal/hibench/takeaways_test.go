@@ -36,7 +36,7 @@ func fullMatrix(t *testing.T) map[CellKeyT]RunResult {
 		for _, w := range workloads.Names() {
 			for _, size := range workloads.AllSizes() {
 				for _, tier := range memsim.AllTiers() {
-					matrix[CellKeyT{w, size, tier}] = MustRun(RunSpec{
+					matrix[CellKeyT{w, size, tier}] = mustRun(t, RunSpec{
 						Workload: w, Size: size, Tier: tier,
 					})
 				}

@@ -1,0 +1,114 @@
+package memsim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BurstDelta must be pure (no tier mutation) and RecordBurst must equal
+// BurstDelta + MergeCounters, so the parallel staging path is bit-identical
+// to the direct path.
+func TestBurstDeltaMatchesRecordBurst(t *testing.T) {
+	sys := NewSystem(sim.NewKernel())
+	staged := sys.Tier(Tier2)
+	direct := NewSystem(sim.NewKernel()).Tier(Tier2)
+
+	cases := []struct {
+		op           Op
+		pattern      Pattern
+		bytes, items int64
+	}{
+		{Read, Sequential, 25_600, 1},
+		{Write, Sequential, 100, 1},
+		{Read, Random, 40_000, 1000},
+		{Write, Random, 2000, 10},
+		{Read, Random, 7, 3},
+	}
+	for _, c := range cases {
+		before := staged.Counters()
+		delta, lines := staged.BurstDelta(c.op, c.pattern, c.bytes, c.items)
+		if staged.Counters() != before {
+			t.Fatalf("BurstDelta mutated tier counters: %+v", staged.Counters())
+		}
+		directLines := direct.RecordBurst(c.op, c.pattern, c.bytes, c.items)
+		if lines != directLines {
+			t.Fatalf("%v/%v %d/%d: delta lines %d != record lines %d",
+				c.op, c.pattern, c.bytes, c.items, lines, directLines)
+		}
+		staged.MergeCounters(delta)
+	}
+	if staged.Counters() != direct.Counters() {
+		t.Fatalf("staged counters %+v != direct counters %+v", staged.Counters(), direct.Counters())
+	}
+}
+
+func TestBurstDeltaZeroAndNegative(t *testing.T) {
+	tr := NewSystem(sim.NewKernel()).Tier(Tier0)
+	if d, lines := tr.BurstDelta(Read, Random, 0, 10); lines != 0 || d != (Counters{}) {
+		t.Fatal("zero-byte burst produced a delta")
+	}
+	if d, lines := tr.BurstDelta(Read, Sequential, 100, 0); lines != 0 || d != (Counters{}) {
+		t.Fatal("zero-item burst produced a delta")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative burst did not panic")
+		}
+	}()
+	tr.BurstDelta(Read, Random, -5, 3)
+}
+
+// Merging is commutative integer addition: any merge order gives the same
+// totals, which is why parallel phase-1 workers can accumulate deltas
+// independently.
+func TestMergeCountersOrderIndependent(t *testing.T) {
+	a := NewSystem(sim.NewKernel()).Tier(Tier2)
+	b := NewSystem(sim.NewKernel()).Tier(Tier2)
+	d1, _ := a.BurstDelta(Read, Random, 4096, 32)
+	d2, _ := a.BurstDelta(Write, Sequential, 1<<20, 1)
+	d3, _ := a.BurstDelta(Write, Random, 100, 5)
+	a.MergeCounters(d1)
+	a.MergeCounters(d2)
+	a.MergeCounters(d3)
+	b.MergeCounters(d3)
+	b.MergeCounters(d1)
+	b.MergeCounters(d2)
+	if a.Counters() != b.Counters() {
+		t.Fatalf("merge order changed totals: %+v vs %+v", a.Counters(), b.Counters())
+	}
+}
+
+// Concurrent BurstDelta calls on one tier must be race-free (run under
+// -race): the computation reads only the immutable spec.
+func TestBurstDeltaConcurrent(t *testing.T) {
+	tr := NewSystem(sim.NewKernel()).Tier(Tier3)
+	var wg sync.WaitGroup
+	deltas := make([]Counters, 8)
+	for i := range deltas {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var local Counters
+			for j := 0; j < 1000; j++ {
+				d, _ := tr.BurstDelta(Read, Random, int64(64+j), int64(1+j%7))
+				local.Add(d)
+			}
+			deltas[i] = local
+		}(i)
+	}
+	wg.Wait()
+	for _, d := range deltas {
+		tr.MergeCounters(d)
+	}
+	// All workers computed the same loop, so the total is 8x one worker's
+	// delta.
+	want := Counters{}
+	for i := 0; i < 8; i++ {
+		want.Add(deltas[0])
+	}
+	if tr.Counters() != want {
+		t.Fatalf("merged counters %+v, want %+v", tr.Counters(), want)
+	}
+}

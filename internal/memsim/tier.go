@@ -75,18 +75,24 @@ func (t *Tier) RecordAccess(op Op, bytes int64) int64 {
 	return lines
 }
 
-// RecordBurst counts a batch of `items` logical accesses moving `bytes` in
-// total. For Sequential bursts the media transfers bytes/lineSize lines
-// (prefetch-friendly streaming); for Random bursts every item touches at
-// least one full line, so small scattered records amplify media traffic —
+// BurstDelta computes the counter delta and media line count of a burst of
+// `items` logical accesses moving `bytes` in total, without touching the
+// tier's counters. For Sequential bursts the media transfers bytes/lineSize
+// lines (prefetch-friendly streaming); for Random bursts every item touches
+// at least one full line, so small scattered records amplify media traffic —
 // the effect that makes shuffle- and graph-heavy workloads hammer the
 // NVDIMM media counters in the paper's Figure 2 (middle).
-func (t *Tier) RecordBurst(op Op, pattern Pattern, bytes, items int64) int64 {
+//
+// The split from RecordBurst exists for concurrent task execution: BurstDelta
+// depends only on the immutable tier spec, so phase-1 workers call it from
+// many goroutines and accumulate the deltas task-locally; MergeCounters
+// publishes them at commit time.
+func (t *Tier) BurstDelta(op Op, pattern Pattern, bytes, items int64) (Counters, int64) {
 	if bytes < 0 || items < 0 {
 		panic(fmt.Sprintf("memsim: negative burst (%d bytes, %d items) on %s", bytes, items, t.Spec.Name))
 	}
 	if bytes == 0 || items == 0 {
-		return 0
+		return Counters{}, 0
 	}
 	line := t.Spec.Kind.LineSize()
 	var lines int64
@@ -101,20 +107,37 @@ func (t *Tier) RecordBurst(op Op, pattern Pattern, bytes, items int64) int64 {
 		lines = (bytes + line - 1) / line
 	}
 	mediaBytes := lines * line
+	var d Counters
 	switch op {
 	case Read:
-		t.counters.ReadOps += items
-		t.counters.ReadBytes += bytes
-		t.counters.MediaReads += lines
-		t.counters.MediaReadBytes += mediaBytes
+		d.ReadOps = items
+		d.ReadBytes = bytes
+		d.MediaReads = lines
+		d.MediaReadBytes = mediaBytes
 	case Write:
-		t.counters.WriteOps += items
-		t.counters.WriteBytes += bytes
-		t.counters.MediaWrites += lines
-		t.counters.MediaWriteBytes += mediaBytes
+		d.WriteOps = items
+		d.WriteBytes = bytes
+		d.MediaWrites = lines
+		d.MediaWriteBytes = mediaBytes
 	default:
 		panic(fmt.Sprintf("memsim: unknown op %d", op))
 	}
+	return d, lines
+}
+
+// MergeCounters folds a task-local counter delta into the tier. Counter
+// merging is commutative integer addition, so the final totals are
+// independent of merge order; the scheduler still merges in partition order
+// to keep the whole commit path deterministic by construction.
+func (t *Tier) MergeCounters(d Counters) { t.counters.Add(d) }
+
+// RecordBurst counts a batch of `items` logical accesses moving `bytes` in
+// total against the tier's counters and returns the media line count. It is
+// BurstDelta + MergeCounters in one step, for callers that own the tier
+// exclusively (probes, tests, the sequential replay path).
+func (t *Tier) RecordBurst(op Op, pattern Pattern, bytes, items int64) int64 {
+	d, lines := t.BurstDelta(op, pattern, bytes, items)
+	t.counters.Add(d)
 	return lines
 }
 

@@ -2,6 +2,7 @@ package rdd
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/executor"
 	"repro/internal/memsim"
@@ -45,11 +46,11 @@ func (b *Broadcast[T]) Value(ctx *executor.TaskContext) T {
 }
 
 // Accumulator is a driver-visible counter that tasks add to, like Spark's
-// long accumulators. Task execution is sequential in the simulator, so a
-// plain integer is race-free; each Add charges a trivial CPU cost.
+// long accumulators. Tasks run concurrently on phase-1 workers, so the
+// total is atomic; each Add charges a trivial CPU cost.
 type Accumulator struct {
 	name  string
-	total int64
+	total atomic.Int64
 }
 
 // NewAccumulator registers a named accumulator.
@@ -65,11 +66,11 @@ func (a *Accumulator) Add(ctx *executor.TaskContext, n int64) {
 	if ctx != nil {
 		ctx.CPU(4)
 	}
-	a.total += n
+	a.total.Add(n)
 }
 
 // Value reads the accumulated total on the driver.
-func (a *Accumulator) Value() int64 { return a.total }
+func (a *Accumulator) Value() int64 { return a.total.Load() }
 
 // Reset zeroes the accumulator (between phases).
-func (a *Accumulator) Reset() { a.total = 0 }
+func (a *Accumulator) Reset() { a.total.Store(0) }

@@ -21,14 +21,14 @@ func Cache[T any](r *RDD[T]) *RDD[T] {
 	id := cached.base.ID
 	cached.compute = func(ctx *executor.TaskContext, part int) []T {
 		block := blockmgr.BlockID{RDD: id, Partition: part}
-		if data, bytes, _, ok := ctx.Blocks.Get(block); ok {
+		if data, bytes, _, ok := ctx.GetBlock(block); ok {
 			ctx.CacheSeq(memsim.Read, bytes)
 			return data.([]T)
 		}
 		out := r.Compute(ctx, part)
 		bytes := SizeOfSlice(out)
 		ctx.CacheSeq(memsim.Write, bytes)
-		ctx.Blocks.Put(block, out, bytes, len(out))
+		ctx.PutBlock(block, out, bytes, len(out))
 		return out
 	}
 	return cached

@@ -96,7 +96,7 @@ func putBuckets[K comparable, V any](ctx *executor.TaskContext, shuffleID, mapPa
 		}
 		bytes := SizeOfSlice(b)
 		ctx.CPU(float64(bytes) * ctx.Cost.SerDePerB)
-		ctx.Shuffle.Put(shuffleID, mapPart, reduce, ctx.ExecID, b, len(b), bytes)
+		ctx.PutShuffleSegment(shuffleID, mapPart, reduce, b, len(b), bytes)
 	}
 }
 

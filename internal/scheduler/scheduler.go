@@ -1,19 +1,32 @@
 // Package scheduler implements the DAG scheduler: it walks an action's
 // lineage graph, splits it into stages at shuffle boundaries, runs map
 // stages for unmaterialized shuffle dependencies in topological order, and
-// finally runs the result stage. Each stage's tasks compute real data
-// eagerly (producing cost profiles) and are then replayed on the
-// discrete-event executor model to advance virtual time under contention —
-// exactly Spark's barrier-between-stages execution discipline.
+// finally runs the result stage — Spark's barrier-between-stages execution
+// discipline.
+//
+// Stage execution is two-phase. Phase 1 computes every task's real data
+// concurrently on a bounded worker pool (Env.TaskParallelism OS
+// goroutines): tasks charge into task-local staging inside their
+// TaskContext and never touch the simulation kernel or shared stores.
+// Phase 2 runs on the driver goroutine after the workers join: staged side
+// effects are committed in partition order, injected failures replayed,
+// and the per-task cost profiles simulated on the sequential virtual-time
+// executor model. Every virtual-time number and counter is therefore
+// bit-identical to a fully sequential run while wall-clock scales with the
+// worker count.
 package scheduler
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/executor"
 	"repro/internal/rdd"
 	"repro/internal/shuffle"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -29,6 +42,10 @@ type Env interface {
 	// TaskFailureRate is the injected per-attempt task failure
 	// probability (0 disables failure injection).
 	TaskFailureRate() float64
+	// TaskParallelism is the number of worker goroutines computing real
+	// task data concurrently during phase 1. Values <= 0 select
+	// runtime.GOMAXPROCS(0); 1 is the sequential escape hatch.
+	TaskParallelism() int
 }
 
 // Stats accumulates scheduler-level observables across jobs, feeding the
@@ -46,18 +63,107 @@ type Stats struct {
 
 // Scheduler owns shuffle materialization state for one application.
 type Scheduler struct {
-	env   Env
-	done  map[int]bool // shuffle id -> outputs materialized
+	env  Env
+	done map[int]bool // shuffle id -> outputs materialized
+	// reg counts engine-level events (tasks computed, parallel vs
+	// sequential stages); workers update it concurrently.
+	reg   *telemetry.Registry
 	stats Stats
 }
 
 // New builds a scheduler over the environment.
 func New(env Env) *Scheduler {
-	return &Scheduler{env: env, done: make(map[int]bool)}
+	return &Scheduler{env: env, done: make(map[int]bool), reg: telemetry.NewRegistry()}
 }
 
 // Stats returns accumulated execution statistics.
 func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Counters returns the scheduler's engine-level counter registry.
+func (s *Scheduler) Counters() *telemetry.Registry { return s.reg }
+
+// workers resolves the phase-1 worker count for a stage of n tasks.
+func (s *Scheduler) workers(n int) int {
+	w := s.env.TaskParallelism()
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// computeStage is phase 1 + commit: it builds one TaskContext per
+// partition, runs the task body over all partitions on the worker pool,
+// then commits each context's staged side effects in partition order and
+// returns the simulation tasks, ready for virtual-time replay. A task
+// panic is re-raised on the driver goroutine after all workers join —
+// deterministically the lowest-partition panic when several tasks fail —
+// with no partial commits.
+func (s *Scheduler) computeStage(n int, body func(ctx *executor.TaskContext, part int)) []executor.SimTask {
+	ctxs := make([]*executor.TaskContext, n)
+	for part := 0; part < n; part++ {
+		ctxs[part] = s.newContext(part)
+	}
+	workers := s.workers(n)
+	if workers <= 1 {
+		s.reg.Add("stages.sequential", 1)
+		for part := 0; part < n; part++ {
+			body(ctxs[part], part)
+			s.reg.Add("tasks.computed", 1)
+		}
+	} else {
+		s.reg.Add("stages.parallel", 1)
+		s.fanOut(ctxs, body, workers)
+	}
+	tasks := make([]executor.SimTask, n)
+	for part := 0; part < n; part++ {
+		ctxs[part].Commit()
+		tasks[part] = executor.SimTask{Profile: ctxs[part].Profile(), ExecID: ctxs[part].ExecID}
+	}
+	return tasks
+}
+
+// fanOut runs the task body over every context on `workers` goroutines.
+// Work is handed out through an atomic partition cursor; each worker
+// recovers task panics into a per-partition slot so the driver can re-raise
+// the first (lowest-partition) one after the join.
+func (s *Scheduler) fanOut(ctxs []*executor.TaskContext, body func(ctx *executor.TaskContext, part int), workers int) {
+	var cursor atomic.Int64
+	panics := make([]any, len(ctxs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				part := int(cursor.Add(1)) - 1
+				if part >= len(ctxs) {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[part] = r
+						}
+					}()
+					body(ctxs[part], part)
+					s.reg.Add("tasks.computed", 1)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
 
 // RunJob executes fn over every partition of final, materializing upstream
 // shuffles first, and returns per-partition results in partition order.
@@ -68,18 +174,16 @@ func (s *Scheduler) RunJob(final *rdd.Base, fn rdd.ResultFunc) []any {
 
 	s.visit(final)
 
-	// Result stage.
-	pool := s.env.Pool()
+	// Result stage: phase-1 compute fills results task-locally (each task
+	// writes only its own slice index); the WaitGroup join in computeStage
+	// orders those writes before the driver reads them.
 	results := make([]any, final.NumParts)
-	tasks := make([]executor.SimTask, 0, final.NumParts)
-	for part := 0; part < final.NumParts; part++ {
-		ctx := s.newContext(part)
+	tasks := s.computeStage(final.NumParts, func(ctx *executor.TaskContext, part int) {
 		results[part] = fn(ctx, part)
-		tasks = append(tasks, executor.SimTask{Profile: ctx.Profile(), ExecID: ctx.ExecID})
-	}
+	})
 	s.injectFailures(tasks)
 	start := k.Now()
-	res := executor.SimulateStage(k, pool, tasks, s.env.Cost())
+	res := executor.SimulateStage(k, s.env.Pool(), tasks, s.env.Cost())
 	s.accountStage(res, len(tasks))
 	s.env.Tracer().Add(trace.Span{
 		Name:     fmt.Sprintf("result stage (job %d, %s)", s.stats.Jobs, final),
@@ -114,12 +218,12 @@ func (s *Scheduler) ensureShuffle(d *rdd.ShuffleDep) {
 	store.RegisterShuffle(d.ShuffleID, d.P.NumParts)
 
 	before := store.TotalBytes()
-	tasks := make([]executor.SimTask, 0, d.P.NumParts)
-	for mapPart := 0; mapPart < d.P.NumParts; mapPart++ {
-		ctx := s.newContext(mapPart)
+	// Map stage: segments are staged per task and land in the store during
+	// the partition-ordered commit inside computeStage, so the byte delta
+	// below observes the full stage's output.
+	tasks := s.computeStage(d.P.NumParts, func(ctx *executor.TaskContext, mapPart int) {
 		d.WriteMap(ctx, mapPart)
-		tasks = append(tasks, executor.SimTask{Profile: ctx.Profile(), ExecID: ctx.ExecID})
-	}
+	})
 	s.injectFailures(tasks)
 	start := s.env.Kernel().Now()
 	res := executor.SimulateStage(s.env.Kernel(), s.env.Pool(), tasks, s.env.Cost())

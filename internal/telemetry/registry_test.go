@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestRegistryAddGetSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Add("tasks.computed", 3)
+	r.Add("tasks.computed", 2)
+	r.Add("stages.parallel", 1)
+	if got := r.Get("tasks.computed"); got != 5 {
+		t.Fatalf("tasks.computed = %d, want 5", got)
+	}
+	if got := r.Get("never.written"); got != 0 {
+		t.Fatalf("unwritten counter = %d, want 0", got)
+	}
+	want := map[string]int64{"tasks.computed": 5, "stages.parallel": 1}
+	if snap := r.Snapshot(); !reflect.DeepEqual(snap, want) {
+		t.Fatalf("snapshot = %v, want %v", snap, want)
+	}
+	if names := r.Names(); !reflect.DeepEqual(names, []string{"stages.parallel", "tasks.computed"}) {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestRegistrySnapshotIsACopy(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a", 1)
+	snap := r.Snapshot()
+	snap["a"] = 99
+	if r.Get("a") != 1 {
+		t.Fatal("mutating a snapshot leaked into the registry")
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Add("x", 1)
+	if r.Get("x") != 0 || r.Snapshot() != nil || r.Names() != nil {
+		t.Fatal("nil registry not inert")
+	}
+}
+
+// Concurrent adds from many goroutines (the phase-1 worker pattern) must
+// be race-free and lose no increments.
+func TestRegistryConcurrentAdds(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Add("tasks.computed", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Get("tasks.computed"); got != workers*perWorker {
+		t.Fatalf("lost increments: %d, want %d", got, workers*perWorker)
+	}
+}

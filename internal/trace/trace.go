@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -30,7 +31,10 @@ func (s Span) Duration() sim.Time { return s.End - s.Start }
 
 // Recorder accumulates spans. The zero value is ready to use; a nil
 // recorder ignores all calls, so call sites never need nil checks.
+// Recorders are safe for concurrent use: phase-1 task workers may emit
+// spans while the driver records stage spans.
 type Recorder struct {
+	mu    sync.Mutex
 	spans []Span
 }
 
@@ -42,15 +46,19 @@ func (r *Recorder) Add(s Span) {
 	if s.End < s.Start {
 		panic(fmt.Sprintf("trace: span %q ends (%v) before it starts (%v)", s.Name, s.End, s.Start))
 	}
+	r.mu.Lock()
 	r.spans = append(r.spans, s)
+	r.mu.Unlock()
 }
 
-// Spans returns the recorded spans in insertion order.
+// Spans returns a copy of the recorded spans in insertion order.
 func (r *Recorder) Spans() []Span {
 	if r == nil {
 		return nil
 	}
-	return r.spans
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
 }
 
 // Len returns the number of recorded spans.
@@ -58,6 +66,8 @@ func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return len(r.spans)
 }
 
