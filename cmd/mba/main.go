@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -43,7 +44,13 @@ func main() {
 	sweep.Table().Render(os.Stdout)
 	fmt.Println()
 	fmt.Println("max relative change of mean execution time vs uncapped (flat = bandwidth unsaturated):")
-	for w, dev := range sweep.Flatness() {
-		fmt.Printf("  %-12s %.2f%%\n", w, dev*100)
+	flatness := sweep.Flatness()
+	byName := make([]string, 0, len(flatness))
+	for w := range flatness {
+		byName = append(byName, w)
+	}
+	sort.Strings(byName)
+	for _, w := range byName {
+		fmt.Printf("  %-12s %.2f%%\n", w, flatness[w]*100)
 	}
 }

@@ -12,9 +12,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -34,13 +34,16 @@ func main() {
 		w = f
 	}
 
-	start := time.Now()
+	// Wall-clock progress goes through the telemetry stopwatch (the
+	// sanctioned wrapper) and only to stderr: the report bytes on w are a
+	// pure function of the seed.
+	sw := telemetry.StartStopwatch()
 	core.Reproduce(w, core.ReproduceOptions{
 		Seed:        *seed,
 		SkipScaling: *skipScaling,
 		Progress: func(name string) {
-			fmt.Fprintf(os.Stderr, "[%6.1fs] %s done\n", time.Since(start).Seconds(), name)
+			fmt.Fprintf(os.Stderr, "%s %s done\n", sw.Stamp(), name)
 		},
 	})
-	fmt.Fprintf(os.Stderr, "[%6.1fs] full reproduction complete\n", time.Since(start).Seconds())
+	fmt.Fprintf(os.Stderr, "%s full reproduction complete\n", sw.Stamp())
 }

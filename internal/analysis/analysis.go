@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders "file:line: analyzer: message" with the position's
+// filename as stored (absolute under the loader).
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// StringRel renders the diagnostic with its filename relative to base
+// (falling back to the absolute path if base does not contain it).
+func (d Diagnostic) StringRel(base string) string {
+	name := d.Pos.Filename
+	if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s:%d: %s: %s", name, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and allow directives.
+	Name string
+	// Doc is a one-line description for -list output.
+	Doc string
+	// Run inspects the pass's packages and reports findings.
+	Run func(p *Pass)
+}
+
+// Pass is the shared state handed to every analyzer run: the loaded
+// packages, the module path (to tell module APIs from stdlib) and the
+// diagnostic sink.
+type Pass struct {
+	// ModulePath is the module's import-path prefix.
+	ModulePath string
+	// Packages are the packages under analysis, sorted by path.
+	Packages []*Package
+	// Fset positions every file in Packages.
+	Fset *token.FileSet
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos for the running analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// The loader does not parse test files, but analyzers guard anyway so
+// they behave when handed test sources directly.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{NoDeterminism, StagedCharge, LockSafety, ErrFlow}
+}
+
+// DirectiveName is the comment prefix of a suppression directive:
+// //simlint:allow <analyzer> <reason>.
+const DirectiveName = "simlint:allow"
+
+// directive is one parsed //simlint:allow comment.
+type directive struct {
+	file     string
+	line     int
+	analyzer string
+	// funcStart/funcEnd are set when the directive sits in a function's
+	// doc comment, in which case it covers the whole declaration.
+	funcStart, funcEnd int
+}
+
+// Run executes the analyzers over the packages, applies suppression
+// directives and returns the surviving diagnostics sorted by position.
+// Malformed directives are themselves reported (analyzer "simlint") so a
+// typo cannot silently disable a check.
+func Run(modulePath string, fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{ModulePath: modulePath, Packages: pkgs, Fset: fset, analyzer: a, diags: &diags}
+		a.Run(pass)
+	}
+
+	known := make(map[string]bool)
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var dirs []directive
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			dirs = append(dirs, collectDirectives(fset, f, known, &diags)...)
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(d, dirs) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return kept
+}
+
+// collectDirectives parses every //simlint:allow comment in the file. A
+// directive on its own line covers the next line; an end-of-line
+// directive covers its own line; a directive in a function's doc comment
+// covers the whole function.
+func collectDirectives(fset *token.FileSet, f *ast.File, known map[string]bool, diags *[]Diagnostic) []directive {
+	// Map doc-comment groups to their function's extent.
+	funcDocs := make(map[*ast.CommentGroup][2]int)
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+			funcDocs[fd.Doc] = [2]int{fset.Position(fd.Pos()).Line, fset.Position(fd.End()).Line}
+		}
+	}
+	var out []directive
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, DirectiveName) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(text)
+			if len(fields) < 3 {
+				*diags = append(*diags, Diagnostic{Pos: pos, Analyzer: "simlint",
+					Message: fmt.Sprintf("malformed directive %q: want //%s <analyzer> <reason>", text, DirectiveName)})
+				continue
+			}
+			name := fields[1]
+			if !known[name] {
+				*diags = append(*diags, Diagnostic{Pos: pos, Analyzer: "simlint",
+					Message: fmt.Sprintf("directive names unknown analyzer %q", name)})
+				continue
+			}
+			d := directive{file: pos.Filename, line: pos.Line, analyzer: name}
+			if span, ok := funcDocs[group]; ok {
+				d.funcStart, d.funcEnd = span[0], span[1]
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a diagnostic is covered by a directive: same
+// file and analyzer, and the directive is on the diagnostic's line, the
+// line above it, or is a func-doc directive whose function contains it.
+func suppressed(d Diagnostic, dirs []directive) bool {
+	if d.Analyzer == "simlint" {
+		return false
+	}
+	for _, dir := range dirs {
+		if dir.file != d.Pos.Filename || dir.analyzer != d.Analyzer {
+			continue
+		}
+		if dir.funcEnd > 0 && d.Pos.Line >= dir.funcStart && d.Pos.Line <= dir.funcEnd {
+			return true
+		}
+		if d.Pos.Line == dir.line || d.Pos.Line == dir.line+1 {
+			return true
+		}
+	}
+	return false
+}

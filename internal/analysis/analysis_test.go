@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadTestdata loads every package under testdata/src with one shared
+// loader and returns the base directory and resulting diagnostics grouped
+// by top-level package directory.
+func loadTestdata(t *testing.T) (base string, byDir map[string][]string, dirs []string) {
+	t.Helper()
+	base, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var patterns []string
+	for _, e := range ents {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+			patterns = append(patterns, filepath.Join(base, e.Name()))
+		}
+	}
+	sort.Strings(dirs)
+	ld, err := NewLoader(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ld.Load(patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != len(dirs) {
+		t.Fatalf("loaded %d packages, want %d", len(pkgs), len(dirs))
+	}
+	diags := Run(ld.ModulePath(), ld.Fset(), pkgs, All())
+	byDir = make(map[string][]string)
+	for _, d := range diags {
+		rel, err := filepath.Rel(base, d.Pos.Filename)
+		if err != nil {
+			t.Fatalf("diagnostic outside testdata: %s", d)
+		}
+		top := strings.SplitN(filepath.ToSlash(rel), "/", 2)[0]
+		byDir[top] = append(byDir[top], d.StringRel(base))
+	}
+	return base, byDir, dirs
+}
+
+// TestGoldenDiagnostics pins the exact diagnostics (file, line, analyzer,
+// message) each known-bad testdata package must produce — including the
+// suppression-directive behavior in testdata/src/suppress.
+func TestGoldenDiagnostics(t *testing.T) {
+	base, byDir, dirs := loadTestdata(t)
+	for _, dir := range dirs {
+		t.Run(dir, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join(base, dir, dir+".golden"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := ""
+			if lines := byDir[dir]; len(lines) > 0 {
+				got = strings.Join(lines, "\n") + "\n"
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestSuppressionDirectives spot-checks that the suppress package's clean
+// functions produced no findings: every surviving diagnostic there must
+// sit in one of the deliberately unsuppressed functions.
+func TestSuppressionDirectives(t *testing.T) {
+	_, byDir, _ := loadTestdata(t)
+	for _, line := range byDir["suppress"] {
+		n := lineNumber(t, line)
+		if n < 28 {
+			t.Errorf("finding in the suppressed region (line %d): %s", n, line)
+		}
+	}
+	if len(byDir["suppress"]) == 0 {
+		t.Fatal("the unsuppressed fixtures produced no findings")
+	}
+}
+
+func lineNumber(t *testing.T, diag string) int {
+	t.Helper()
+	parts := strings.SplitN(diag, ":", 3)
+	if len(parts) < 3 {
+		t.Fatalf("malformed diagnostic %q", diag)
+	}
+	n := 0
+	for _, c := range parts[1] {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// TestModuleIsClean runs the full suite over the whole module: the tree
+// must stay violation-free (CI enforces the same via cmd/simlint).
+func TestModuleIsClean(t *testing.T) {
+	ld, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ld.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; loader is missing the module tree", len(pkgs))
+	}
+	diags := Run(ld.ModulePath(), ld.Fset(), pkgs, All())
+	for _, d := range diags {
+		t.Errorf("%s", d.StringRel(ld.Root()))
+	}
+}
+
+// TestLoaderBasics pins the loader's module discovery and testdata
+// exclusion.
+func TestLoaderBasics(t *testing.T) {
+	ld, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.ModulePath() != "repro" {
+		t.Fatalf("module path = %q, want repro", ld.ModulePath())
+	}
+	pkgs, err := ld.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.Path, "testdata") {
+			t.Errorf("module walk descended into testdata: %s", p.Path)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrFlow flags module-internal error-returning calls whose error is
+// silently dropped as a bare statement (`hibench.Run(spec)` instead of
+// `res, err := hibench.Run(spec)`). The MustRun removal made every
+// harness entry point return its error; a discarded one turns a failed
+// run into a silently missing report cell. Stdlib calls are out of scope
+// (dropping fmt.Fprintf's error is idiomatic), as are explicit `_ =`
+// assignments, defers and go statements, which all read as intentional.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc:  "forbid discarding errors from module-internal APIs as bare statements",
+	Run:  runErrFlow,
+}
+
+func runErrFlow(p *Pass) {
+	prefix := p.ModulePath + "/"
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			if p.IsTestFile(f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				stmt, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := unparen(stmt.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil {
+					return true
+				}
+				path := funcPkgPath(fn)
+				if path != p.ModulePath && !strings.HasPrefix(path, prefix) {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || !returnsError(sig) {
+					return true
+				}
+				name := fn.Name()
+				if recv := recvTypeName(fn); recv != "" {
+					name = recv + "." + name
+				}
+				p.Reportf(stmt.Pos(), "error from %s.%s is discarded; handle it or assign it explicitly", shortPkg(path), name)
+				return true
+			})
+		}
+	}
+}
+
+// shortPkg returns the last path element ("repro/internal/hibench" ->
+// "hibench").
+func shortPkg(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

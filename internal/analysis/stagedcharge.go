@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StagedCharge enforces the two-phase scheduler's staging discipline:
+// code reachable from a task's compute path (any function or closure
+// taking a *executor.TaskContext) runs concurrently on phase-1 workers
+// and must never mutate shared simulation state directly. Tier counters
+// go through TaskContext's BurstDelta-based staging, block-manager
+// operations through GetBlock/PutBlock (Peek + replay), and shuffle
+// writes through PutShuffleSegment — all published by Commit in partition
+// order. TaskContext's own methods are the sanctioned staging layer and
+// are exempt.
+var StagedCharge = &Analyzer{
+	Name: "stagedcharge",
+	Doc:  "forbid direct tier/blockmgr/shuffle mutation in task-compute code",
+	Run:  runStagedCharge,
+}
+
+const (
+	executorPath = "repro/internal/executor"
+	memsimPath   = "repro/internal/memsim"
+	blockmgrPath = "repro/internal/blockmgr"
+	shufflePath  = "repro/internal/shuffle"
+)
+
+// forbiddenInTask maps package path -> receiver type -> method -> advice.
+var forbiddenInTask = map[string]map[string]map[string]string{
+	memsimPath: {
+		"Tier": {
+			"RecordAccess":  "stage tier charges through TaskContext (BurstDelta deltas commit in partition order)",
+			"RecordBurst":   "stage tier charges through TaskContext (BurstDelta deltas commit in partition order)",
+			"MergeCounters": "counter merges happen in TaskContext.Commit, in partition order",
+			"ResetCounters": "counter resets belong to the driver between runs, not task compute",
+		},
+		"System": {
+			"ResetCounters":   "counter resets belong to the driver between runs, not task compute",
+			"SetBandwidthCap": "bandwidth caps are driver configuration, not task compute",
+		},
+	},
+	blockmgrPath: {
+		"Manager": {
+			"Put":        "use TaskContext.PutBlock: puts are staged and replayed at commit",
+			"Get":        "use TaskContext.GetBlock: it reads the stage-start snapshot via Peek and stages the hit",
+			"Remove":     "block removal mutates LRU state; it belongs to the driver",
+			"Clear":      "block clearing mutates LRU state; it belongs to the driver",
+			"ReplayHit":  "replays are issued by TaskContext.Commit only",
+			"ReplayMiss": "replays are issued by TaskContext.Commit only",
+		},
+	},
+	shufflePath: {
+		"Store": {
+			"Put":         "use TaskContext.PutShuffleSegment: segments publish at commit, before downstream stages",
+			"DropShuffle": "shuffle cleanup belongs to the driver between jobs",
+		},
+	},
+}
+
+// scNode is one function body (declaration or literal) in the call graph.
+type scNode struct {
+	name    string
+	entry   bool // has a *executor.TaskContext parameter
+	exempt  bool // method of executor.TaskContext: the staging layer itself
+	callees []*types.Func
+	lits    []*scNode // closures defined inside this body
+	bad     []scBadCall
+	tainted bool
+}
+
+type scBadCall struct {
+	pos token.Pos
+	msg string
+}
+
+func runStagedCharge(p *Pass) {
+	byFunc := make(map[*types.Func]*scNode)
+	var all []*scNode
+
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			if p.IsTestFile(f.Pos()) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				node := &scNode{name: fd.Name.Name}
+				if obj != nil {
+					sig := obj.Type().(*types.Signature)
+					node.entry = hasTaskCtxParam(sig)
+					if sig.Recv() != nil && isNamedType(sig.Recv().Type(), executorPath, "TaskContext") {
+						node.exempt = true
+					}
+					byFunc[obj] = node
+				}
+				collectBody(pkg, fd.Body, node, &all)
+				all = append(all, node)
+			}
+		}
+	}
+
+	// Taint everything reachable from an entry.
+	var work []*scNode
+	for _, n := range all {
+		if n.entry && !n.exempt {
+			work = append(work, n)
+		}
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		if n.tainted || n.exempt {
+			continue
+		}
+		n.tainted = true
+		for _, callee := range n.callees {
+			if cn, ok := byFunc[callee]; ok && !cn.tainted && !cn.exempt {
+				work = append(work, cn)
+			}
+		}
+		for _, lit := range n.lits {
+			if !lit.tainted {
+				work = append(work, lit)
+			}
+		}
+	}
+
+	for _, n := range all {
+		if !n.tainted {
+			continue
+		}
+		for _, b := range n.bad {
+			p.Reportf(b.pos, "%s", b.msg)
+		}
+	}
+}
+
+// hasTaskCtxParam reports whether any parameter is *executor.TaskContext.
+func hasTaskCtxParam(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isPtrToNamed(params.At(i).Type(), executorPath, "TaskContext") {
+			return true
+		}
+	}
+	return false
+}
+
+// collectBody records the node's static callees and forbidden calls,
+// stopping at nested function literals (which become child nodes: a
+// closure defined in task-compute code is assumed to run in it).
+func collectBody(pkg *Package, body ast.Node, node *scNode, all *[]*scNode) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			child := &scNode{name: node.name + ".func"}
+			if sig, ok := pkg.Info.Types[x].Type.(*types.Signature); ok {
+				child.entry = hasTaskCtxParam(sig)
+			}
+			collectBody(pkg, x.Body, child, all)
+			node.lits = append(node.lits, child)
+			*all = append(*all, child)
+			return false
+		case *ast.CallExpr:
+			fn := calleeFunc(pkg.Info, x)
+			if fn == nil {
+				return true
+			}
+			node.callees = append(node.callees, fn)
+			if byRecv, ok := forbiddenInTask[funcPkgPath(fn)]; ok {
+				if byName, ok := byRecv[recvTypeName(fn)]; ok {
+					if advice, ok := byName[fn.Name()]; ok {
+						node.bad = append(node.bad, scBadCall{
+							pos: x.Pos(),
+							msg: "direct " + recvTypeName(fn) + "." + fn.Name() + " in task-compute code: " + advice,
+						})
+					}
+				}
+			}
+		}
+		return true
+	})
+}

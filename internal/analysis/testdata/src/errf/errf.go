@@ -1,0 +1,30 @@
+// Package errf is simlint test input: discarded-error violations. Line
+// positions are pinned by errf.golden.
+package errf
+
+import "errors"
+
+// mightFail is a module-internal error-returning API.
+func mightFail() error { return errors.New("boom") }
+
+// pair returns a value and an error.
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// bad discards the errors as bare statements.
+func bad() {
+	mightFail()
+	pair()
+}
+
+// explicit discards read as intentional and are clean.
+func explicit() {
+	_ = mightFail()
+	if err := mightFail(); err != nil {
+		_ = err
+	}
+}
+
+// deferredDiscard is exempt by design: defers routinely drop errors.
+func deferredDiscard() {
+	defer mightFail()
+}

@@ -1,0 +1,63 @@
+// Package locks is simlint test input: lock-safety violations. Line
+// positions are pinned by locks.golden.
+package locks
+
+import "sync"
+
+// counter carries its own mutex.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bad reads n without acquiring the lock.
+func (c *counter) Bad() int {
+	return c.n
+}
+
+// Good locks first and is clean.
+func (c *counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// valueRecv copies the counter (and its mutex) into the receiver, and
+// then reads the field unguarded.
+func (c counter) valueRecv() int {
+	return c.n
+}
+
+// byValue copies the lock in its parameter.
+func byValue(mu sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+}
+
+// copyAssign copies a counter by value through a dereference.
+func copyAssign(c *counter) {
+	snapshot := *c
+	snapshot.n++
+}
+
+// sendUnderLock sends on a channel inside the critical section.
+func sendUnderLock(c *counter, ch chan int) {
+	c.mu.Lock()
+	ch <- 1
+	c.mu.Unlock()
+}
+
+// sendAfterUnlock releases before sending and is clean.
+func sendAfterUnlock(c *counter, ch chan int) {
+	c.mu.Lock()
+	c.mu.Unlock()
+	ch <- 1
+}
+
+// sendUnderDeferredLock holds the deferred unlock until return, so the
+// send is inside the critical section.
+func sendUnderDeferredLock(c *counter, ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch <- 2
+}

@@ -1,0 +1,74 @@
+// Package nodet is simlint test input: nodeterminism violations and the
+// matching clean patterns. Line positions are pinned by nodet.golden.
+package nodet
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// wallClock reads the wall clock twice.
+func wallClock() float64 {
+	start := time.Now()
+	return time.Since(start).Seconds()
+}
+
+// globalRand draws from the shared unseeded source.
+func globalRand() int {
+	return rand.Intn(10)
+}
+
+// seededRand is the sanctioned pattern and is clean.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// unsortedKeys lets map iteration order escape through the appended
+// slice.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedKeys sorts after the loop and is clean.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// floatSum accumulates floats in map order: the low bits depend on the
+// iteration order.
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// intSum is commutative integer addition and is clean.
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// printAll emits formatted output in map order.
+func printAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(os.Stdout, "%s=%d\n", k, v)
+	}
+}

@@ -1,0 +1,45 @@
+// Package suppress is simlint test input: allow-directive behavior. Line
+// positions are pinned by suppress.golden.
+package suppress
+
+import "time"
+
+// inline is suppressed by a directive on the offending line.
+func inline() time.Time {
+	return time.Now() //simlint:allow nodeterminism test fixture: inline suppression
+}
+
+// preceding is suppressed by a directive on the line above.
+func preceding() time.Time {
+	//simlint:allow nodeterminism test fixture: line-above suppression
+	return time.Now()
+}
+
+// docSuppressed is covered for its whole body by a doc-comment
+// directive.
+//
+//simlint:allow nodeterminism test fixture: whole-function suppression
+func docSuppressed() (time.Time, time.Time) {
+	a := time.Now()
+	b := time.Now()
+	return a, b
+}
+
+// wrongAnalyzer names a different analyzer, so the finding stands.
+func wrongAnalyzer() time.Time {
+	//simlint:allow errflow test fixture: wrong analyzer does not suppress
+	return time.Now()
+}
+
+// missingReason has no reason, so the directive is malformed and the
+// finding stands.
+func missingReason() time.Time {
+	//simlint:allow nodeterminism
+	return time.Now()
+}
+
+// unknownName names an analyzer that does not exist.
+func unknownName() time.Time {
+	//simlint:allow nosuchcheck some reason
+	return time.Now()
+}

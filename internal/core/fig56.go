@@ -62,10 +62,15 @@ func RunMetricCorrelation(workload string, seeds []int64) MetricCorrelation {
 // the "how predictable is this workload from system events" score that
 // separates bayes (near-linear) from pagerank (weak) in the paper.
 func (m MetricCorrelation) MeanAbsCorrelation() float64 {
+	metrics := make([]string, 0, len(m.Corr))
+	for name := range m.Corr {
+		metrics = append(metrics, name)
+	}
+	sort.Strings(metrics)
 	var sum float64
 	var n int
-	for _, r := range m.Corr {
-		if !math.IsNaN(r) {
+	for _, name := range metrics {
+		if r := m.Corr[name]; !math.IsNaN(r) {
 			sum += math.Abs(r)
 			n++
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/hibench"
 	"repro/internal/memsim"
@@ -87,9 +88,14 @@ func ComparePredictors(names []string, seed int64) []PredictorScore {
 			}
 			score.MAPE[holdout] = ape / float64(len(testX))
 		}
+		held := make([]string, 0, len(score.MAPE))
+		for name := range score.MAPE {
+			held = append(held, name)
+		}
+		sort.Strings(held)
 		sum := 0.0
-		for _, v := range score.MAPE {
-			sum += v
+		for _, name := range held {
+			sum += score.MAPE[name]
 		}
 		score.Mean = sum / float64(len(score.MAPE))
 		return score

@@ -1,0 +1,36 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stopwatch is the engine's only sanctioned wall-clock accessor. It
+// exists for interactive progress output on stderr — "how long has this
+// reproduction been running" — and for nothing else: report bytes must
+// never depend on wall-clock time, and the nodeterminism analyzer
+// forbids time.Now everywhere but here. Engine-visible time always comes
+// from the simulation kernel's virtual clock.
+type Stopwatch struct {
+	start time.Time
+}
+
+// StartStopwatch begins timing now.
+//
+//simlint:allow nodeterminism the stopwatch is the sanctioned wall-clock wrapper for progress output
+func StartStopwatch() *Stopwatch {
+	return &Stopwatch{start: time.Now()}
+}
+
+// Seconds returns the elapsed wall-clock seconds.
+//
+//simlint:allow nodeterminism progress output only; never feeds report bytes
+func (s *Stopwatch) Seconds() float64 {
+	return time.Since(s.start).Seconds()
+}
+
+// Stamp renders the elapsed time as a fixed-width progress prefix like
+// "[  12.3s]".
+func (s *Stopwatch) Stamp() string {
+	return fmt.Sprintf("[%6.1fs]", s.Seconds())
+}

@@ -1,0 +1,27 @@
+package telemetry
+
+import (
+	"regexp"
+	"testing"
+)
+
+func TestStopwatchMonotonic(t *testing.T) {
+	sw := StartStopwatch()
+	a := sw.Seconds()
+	b := sw.Seconds()
+	if a < 0 || b < a {
+		t.Fatalf("stopwatch went backwards: %v then %v", a, b)
+	}
+}
+
+func TestStopwatchStampFormat(t *testing.T) {
+	sw := StartStopwatch()
+	stamp := sw.Stamp()
+	// Fixed-width "[  12.3s]" prefix so progress lines align.
+	if ok, _ := regexp.MatchString(`^\[ *\d+\.\ds\]$`, stamp); !ok {
+		t.Fatalf("stamp %q does not match the [%%6.1fs] layout", stamp)
+	}
+	if len(stamp) != len("[   0.0s]") {
+		t.Fatalf("stamp %q is not fixed-width", stamp)
+	}
+}
