@@ -25,7 +25,7 @@ func main() {
 	tier := flag.Int("tier", 0, "memory tier (0-3)")
 	executors := flag.Int("executors", 0, "executor count (0 = default 1)")
 	cores := flag.Int("cores", 0, "cores per executor (0 = default 40)")
-	cap := flag.Float64("cap", 0, "MBA bandwidth cap fraction (0 = uncapped)")
+	capFrac := flag.Float64("cap", 0, "MBA bandwidth cap fraction (0 = uncapped)")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	tasks := flag.Int("tasks", 0, "phase-1 compute workers (0 = all cores, 1 = sequential; virtual time is identical)")
 	asJSON := flag.Bool("json", false, "emit the record as JSON")
@@ -50,7 +50,7 @@ func main() {
 		Tier:             memsim.TierID(*tier),
 		Executors:        *executors,
 		CoresPerExecutor: *cores,
-		BandwidthCap:     *cap,
+		BandwidthCap:     *capFrac,
 		TaskParallelism:  *tasks,
 		Seed:             *seed,
 	})

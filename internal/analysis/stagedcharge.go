@@ -48,14 +48,16 @@ var forbiddenInTask = map[string]map[string]map[string]string{
 			"Get":        "use TaskContext.GetBlock: it reads the stage-start snapshot via Peek and stages the hit",
 			"Remove":     "block removal mutates LRU state; it belongs to the driver",
 			"Clear":      "block clearing mutates LRU state; it belongs to the driver",
+			"RemoveAll":  "wholesale block loss is the scheduler's crash path (crashExecutor), never task compute",
 			"ReplayHit":  "replays are issued by TaskContext.Commit only",
 			"ReplayMiss": "replays are issued by TaskContext.Commit only",
 		},
 	},
 	shufflePath: {
 		"Store": {
-			"Put":         "use TaskContext.PutShuffleSegment: segments publish at commit, before downstream stages",
-			"DropShuffle": "shuffle cleanup belongs to the driver between jobs",
+			"Put":                "use TaskContext.PutShuffleSegment: segments publish at commit, before downstream stages",
+			"DropShuffle":        "shuffle cleanup belongs to the driver between jobs",
+			"DeregisterExecutor": "map-output loss is the scheduler's crash path (crashExecutor), never task compute",
 		},
 	},
 }

@@ -149,11 +149,23 @@ func (m *Manager) Remove(id BlockID) bool {
 	return true
 }
 
-// Clear drops all blocks.
-func (m *Manager) Clear() {
+// RemoveAll invalidates the whole store — an executor crash losing its
+// cache — and reports how many blocks and bytes were dropped so the
+// caller can account the loss. Hit/miss/eviction statistics survive;
+// dropped partitions are recomputed from lineage on their next access,
+// exactly like blocks lost with a Spark executor.
+func (m *Manager) RemoveAll() (blocks int, bytes int64) {
+	blocks = len(m.blocks)
+	bytes = m.used
 	m.blocks = make(map[BlockID]*entry)
 	m.lru.Init()
 	m.used = 0
+	return blocks, bytes
+}
+
+// Clear drops all blocks.
+func (m *Manager) Clear() {
+	m.RemoveAll()
 }
 
 func (m *Manager) removeEntry(e *entry) {

@@ -145,3 +145,34 @@ func TestUsageInvariantProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// RemoveAll models an executor crash: the whole store is dropped and
+// reported, while hit/miss/eviction statistics survive for the run's
+// cache-effectiveness accounting.
+func TestRemoveAllReportsLossAndKeepsStats(t *testing.T) {
+	m := New(0)
+	m.Put(BlockID{RDD: 1, Partition: 0}, "a", 100, 1)
+	m.Put(BlockID{RDD: 1, Partition: 1}, "b", 50, 1)
+	m.Get(BlockID{RDD: 1, Partition: 0}) // hit
+	m.Get(BlockID{RDD: 9, Partition: 9}) // miss
+
+	blocks, bytes := m.RemoveAll()
+	if blocks != 2 || bytes != 150 {
+		t.Fatalf("RemoveAll = (%d, %d), want (2, 150)", blocks, bytes)
+	}
+	if m.Len() != 0 || m.Used() != 0 {
+		t.Fatalf("store not empty after RemoveAll: len=%d used=%d", m.Len(), m.Used())
+	}
+	hits, misses, _ := m.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats reset by RemoveAll: hits=%d misses=%d", hits, misses)
+	}
+	// The LRU list must be reusable after the wipe.
+	m.Put(BlockID{RDD: 2, Partition: 0}, "c", 10, 1)
+	if m.Len() != 1 || m.Used() != 10 {
+		t.Fatal("store unusable after RemoveAll")
+	}
+	if b, _ := m.RemoveAll(); b != 1 {
+		t.Fatalf("second RemoveAll dropped %d blocks, want 1", b)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/energy"
 	"repro/internal/executor"
+	"repro/internal/faults"
 	"repro/internal/memsim"
 	"repro/internal/numa"
 	"repro/internal/rdd"
@@ -48,8 +49,14 @@ type Conf struct {
 	TierSpecs *[memsim.NumTiers]memsim.TierSpec
 	// TaskFailureRate injects seeded task failures: each task attempt
 	// fails with this probability and is retried (Spark re-runs failed
-	// tasks from lineage). Zero disables injection.
+	// tasks from lineage). Zero disables injection. A task whose every
+	// attempt up to the fault plan's MaxTaskFailures bound fails aborts
+	// the job.
 	TaskFailureRate float64
+	// Faults is the application's deterministic fault schedule (executor
+	// crashes, stragglers, retry bounds); nil injects nothing. A positive
+	// Faults.TaskFailureRate overrides TaskFailureRate above.
+	Faults *faults.Plan
 	// TaskParallelism bounds the worker goroutines that compute real task
 	// data concurrently during phase 1 of stage execution. Virtual-time
 	// results are identical for any value (see DESIGN.md, "Execution
@@ -98,6 +105,9 @@ func (c Conf) Validate() error {
 	}
 	if c.TaskParallelism < 0 {
 		return fmt.Errorf("cluster: task parallelism %d negative", c.TaskParallelism)
+	}
+	if err := c.Faults.Validate(c.Executors); err != nil {
+		return err
 	}
 	return c.Binding.Validate()
 }
@@ -166,7 +176,9 @@ func New(conf Conf) *App {
 
 // startExecutors charges the per-executor startup: a serial driver-side
 // launch delay per executor, then the parallel startup stage (fixed CPU
-// plus a sequential heap-initialization write to the bound tier).
+// plus a sequential heap-initialization write to the bound tier). The same
+// executor.StartupTask is charged again when a crashed executor is
+// replaced mid-run.
 func (a *App) startExecutors() {
 	serial := sim.Duration(float64(a.pool.Size()) * a.cost.ExecLaunchSerialNS)
 	if serial > 0 {
@@ -174,13 +186,7 @@ func (a *App) startExecutors() {
 	}
 	tasks := make([]executor.SimTask, 0, a.pool.Size())
 	for _, ex := range a.pool.Executors {
-		ctx := a.pool.ConfigureContext(executor.NewPlacedTaskContext(ex.ID, ex.ID,
-			a.pool.Tier(), a.pool.ShuffleTier(), a.pool.CacheTier(),
-			a.cost, ex.Blocks, a.store, a.conf.Seed))
-		ctx.CPU(a.cost.ExecStartupNS)
-		ctx.MemSeq(memsim.Write, a.cost.ExecStartupBytes)
-		ctx.Commit() // publish the staged startup counters
-		tasks = append(tasks, executor.SimTask{Profile: ctx.Profile(), ExecID: ex.ID})
+		tasks = append(tasks, executor.StartupTask(a.pool, ex, a.cost, a.store, a.conf.Seed))
 	}
 	executor.SimulateStage(a.kern, a.pool, tasks, a.cost)
 }
@@ -206,8 +212,17 @@ func (a *App) Seed() int64 { return a.conf.Seed }
 // Tracer implements scheduler.Env; nil until EnableTracing is called.
 func (a *App) Tracer() *trace.Recorder { return a.tracer }
 
-// TaskFailureRate implements scheduler.Env.
-func (a *App) TaskFailureRate() float64 { return a.conf.TaskFailureRate }
+// TaskFailureRate implements scheduler.Env; a positive rate in the fault
+// plan overrides the conf-level rate.
+func (a *App) TaskFailureRate() float64 {
+	if a.conf.Faults != nil && a.conf.Faults.TaskFailureRate > 0 {
+		return a.conf.Faults.TaskFailureRate
+	}
+	return a.conf.TaskFailureRate
+}
+
+// FaultPlan implements scheduler.Env.
+func (a *App) FaultPlan() *faults.Plan { return a.conf.Faults }
 
 // TaskParallelism implements scheduler.Env: the phase-1 worker count,
 // defaulting to runtime.GOMAXPROCS(0) when the conf leaves it zero.

@@ -367,6 +367,20 @@ func (c *TaskContext) Commit() {
 	}
 }
 
+// FetchShuffleInputs returns the segments feeding one reduce partition,
+// ordered by map partition. A map output lost to an executor crash makes
+// the fetch panic with the typed *shuffle.SegmentLostError — the task-level
+// FetchFailed that the scheduler's recovery loop converts into a parent
+// map-stage resubmission. Tasks must fetch through this method (not the
+// store directly) so lost outputs are never silently read as empty.
+func (c *TaskContext) FetchShuffleInputs(shuffleID, reduce int) []*shuffle.Segment {
+	segs, err := c.Shuffle.Inputs(shuffleID, reduce)
+	if err != nil {
+		panic(err.(*shuffle.SegmentLostError))
+	}
+	return segs
+}
+
 // ReadShuffleSegment charges the cost of opening and draining one shuffle
 // segment. Remote segments (written by another executor) pay the
 // co-operation overhead: extra CPU, a metadata round trip and the full

@@ -6,6 +6,7 @@ import (
 	"repro/internal/blockmgr"
 	"repro/internal/memsim"
 	"repro/internal/numa"
+	"repro/internal/shuffle"
 )
 
 // Executor is one Spark computing unit: a set of cores pinned to a socket
@@ -30,11 +31,20 @@ func NewExecutor(id, cores int, binding numa.Binding, cacheCapacity int64) *Exec
 }
 
 // Pool is the set of executors of one application, sharing one memory
-// system and one placement.
+// system and one placement. Executor slots are stable: a crashed
+// executor is marked dead (and optionally replaced in place), so slot
+// indices keep identifying queues and shuffle outputs across failures.
 type Pool struct {
 	Executors []*Executor
 	sys       *memsim.System
 	placement Placement
+
+	// binding and cacheCapacity are kept so Replace can build an
+	// identically configured executor in a dead slot.
+	binding       numa.Binding
+	cacheCapacity int64
+	dead          []bool
+	deadCount     int
 }
 
 // NewPool builds n identical executors of coresEach cores, bound to
@@ -52,10 +62,11 @@ func NewPlacedPool(n, coresEach int, binding numa.Binding, sys *memsim.System,
 	if err := placement.Validate(); err != nil {
 		panic(err)
 	}
-	p := &Pool{sys: sys, placement: placement}
+	p := &Pool{sys: sys, placement: placement, binding: binding, cacheCapacity: cacheCapacity}
 	for i := 0; i < n; i++ {
 		p.Executors = append(p.Executors, NewExecutor(i, coresEach, binding, cacheCapacity))
 	}
+	p.dead = make([]bool, n)
 	return p
 }
 
@@ -96,9 +107,76 @@ func (p *Pool) TotalCores() int {
 	return n
 }
 
+// Alive reports whether an executor slot holds a live executor.
+func (p *Pool) Alive(id int) bool {
+	return id >= 0 && id < len(p.Executors) && !p.dead[id]
+}
+
+// AliveCount returns the number of live executors.
+func (p *Pool) AliveCount() int { return len(p.Executors) - p.deadCount }
+
+// MarkDead removes an executor from scheduling (a crash with no
+// replacement). The slot stays in Executors so indices remain stable;
+// AssignPartition skips it. Idempotent.
+func (p *Pool) MarkDead(id int) {
+	if !p.Alive(id) {
+		return
+	}
+	p.dead[id] = true
+	p.deadCount++
+}
+
+// Replace installs a fresh executor — empty block manager, same cores
+// and binding — in the given slot and revives it, modeling a standalone
+// supervisor restarting a crashed worker. The caller accounts the
+// startup cost (see StartupTask).
+func (p *Pool) Replace(id int) *Executor {
+	old := p.Executors[id]
+	fresh := NewExecutor(id, old.Cores, p.binding, p.cacheCapacity)
+	p.Executors[id] = fresh
+	if p.dead[id] {
+		p.dead[id] = false
+		p.deadCount--
+	}
+	return fresh
+}
+
 // AssignPartition deterministically maps a partition index to an executor,
 // used identically during real computation (for cache placement) and
-// during the timing simulation (for core contention).
+// during the timing simulation (for core contention). Dead slots are
+// skipped: with all executors alive the map is part % n, and after a
+// crash partitions spread round-robin over the survivors.
 func (p *Pool) AssignPartition(part int) *Executor {
-	return p.Executors[part%len(p.Executors)]
+	if p.deadCount == 0 {
+		return p.Executors[part%len(p.Executors)]
+	}
+	alive := p.AliveCount()
+	if alive == 0 {
+		panic("executor: AssignPartition with no live executors")
+	}
+	nth := part % alive
+	for id, ex := range p.Executors {
+		if p.dead[id] {
+			continue
+		}
+		if nth == 0 {
+			return ex
+		}
+		nth--
+	}
+	panic("executor: unreachable")
+}
+
+// StartupTask builds the simulated startup work of one executor — the
+// fixed JVM spin-up CPU plus the sequential heap-initialization write to
+// its bound tier — committed and ready for SimulateStage. It is used for
+// the initial executor launch stage and again when a crashed executor is
+// replaced mid-run.
+func StartupTask(p *Pool, ex *Executor, cost CostModel, store *shuffle.Store, seed int64) SimTask {
+	ctx := p.ConfigureContext(NewPlacedTaskContext(ex.ID, ex.ID,
+		p.Tier(), p.ShuffleTier(), p.CacheTier(), cost, ex.Blocks, store, seed))
+	ctx.CPU(cost.ExecStartupNS)
+	ctx.MemSeq(memsim.Write, cost.ExecStartupBytes)
+	ctx.Commit() // publish the staged startup counters
+	return SimTask{Profile: ctx.Profile(), ExecID: ex.ID}
 }

@@ -1,0 +1,158 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilPlanIsInert(t *testing.T) {
+	var p *Plan
+	if err := p.Validate(4); err != nil {
+		t.Fatalf("nil plan failed validation: %v", err)
+	}
+	if p.SlowFactor(0) != 1 {
+		t.Fatalf("nil plan slow factor = %v, want 1", p.SlowFactor(0))
+	}
+	if p.TaskFailureCap() != DefaultMaxTaskFailures {
+		t.Fatalf("nil plan task cap = %d", p.TaskFailureCap())
+	}
+	if p.StageAttemptCap() != DefaultMaxStageAttempts {
+		t.Fatalf("nil plan stage cap = %d", p.StageAttemptCap())
+	}
+	if p.SpeculationThreshold() != DefaultSpeculationFactor {
+		t.Fatalf("nil plan speculation threshold = %v", p.SpeculationThreshold())
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		frag string
+	}{
+		{"exec out of range", Plan{Crashes: []Crash{{Exec: 4}}}, "targets executor"},
+		{"negative time", Plan{Crashes: []Crash{{Exec: 0, At: -1}}}, "negative time"},
+		{"pool emptied", Plan{Crashes: []Crash{{Exec: 0}, {Exec: 1}, {Exec: 2}, {Exec: 3}}}, "no executor"},
+		{"straggler out of range", Plan{Stragglers: []Straggler{{Exec: 9, Factor: 2}}}, "targets executor"},
+		{"straggler below 1", Plan{Stragglers: []Straggler{{Exec: 0, Factor: 0.5}}}, "below 1"},
+		{"rate too high", Plan{TaskFailureRate: 1}, "out of [0,1)"},
+		{"negative task cap", Plan{MaxTaskFailures: -1}, "negative"},
+		{"negative stage cap", Plan{MaxStageAttempts: -2}, "negative"},
+		{"negative speculation", Plan{SpeculationFactor: -1}, "negative"},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate(4)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: err = %v, want fragment %q", c.name, err, c.frag)
+		}
+	}
+
+	ok := Plan{
+		Crashes:    []Crash{{Exec: 0, At: 5}, {Exec: 1, At: 9, Replace: true}},
+		Stragglers: []Straggler{{Exec: 2, Factor: 3}},
+	}
+	if err := ok.Validate(4); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestGenerateDeterministicAndInBounds(t *testing.T) {
+	spec := ScheduleSpec{
+		Executors:       6,
+		Window:          sim.Time(1e9),
+		Crashes:         3,
+		Stragglers:      2,
+		StragglerFactor: 2.5,
+		TaskFailureRate: 0.01,
+		Speculation:     true,
+	}
+	a := Generate(42, spec)
+	b := Generate(42, spec)
+	if len(a.Crashes) != 3 || len(a.Stragglers) != 2 {
+		t.Fatalf("generated %d crashes, %d stragglers", len(a.Crashes), len(a.Stragglers))
+	}
+	for i := range a.Crashes {
+		if a.Crashes[i] != b.Crashes[i] {
+			t.Fatalf("crash %d differs across same-seed generations: %+v vs %+v", i, a.Crashes[i], b.Crashes[i])
+		}
+		if a.Crashes[i].At < 0 || a.Crashes[i].At >= sim.Time(1e9) {
+			t.Fatalf("crash time %v outside window", a.Crashes[i].At)
+		}
+		if i > 0 && a.Crashes[i].At < a.Crashes[i-1].At {
+			t.Fatal("crashes not time-sorted")
+		}
+	}
+	for i := range a.Stragglers {
+		if a.Stragglers[i] != b.Stragglers[i] {
+			t.Fatal("stragglers differ across same-seed generations")
+		}
+	}
+	if err := a.Validate(spec.Executors); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+
+	// Distinct crash victims.
+	seen := map[int]bool{}
+	for _, c := range a.Crashes {
+		if seen[c.Exec] {
+			t.Fatalf("executor %d crashed twice", c.Exec)
+		}
+		seen[c.Exec] = true
+	}
+
+	// A different seed must eventually produce a different schedule.
+	c := Generate(43, spec)
+	same := len(c.Crashes) == len(a.Crashes)
+	if same {
+		for i := range a.Crashes {
+			if a.Crashes[i] != c.Crashes[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 generated identical crash schedules")
+	}
+}
+
+func TestGenerateCapsUnreplacedCrashes(t *testing.T) {
+	p := Generate(7, ScheduleSpec{Executors: 3, Window: 100, Crashes: 5})
+	if len(p.Crashes) != 2 {
+		t.Fatalf("unreplaced crashes = %d, want capped at executors-1 = 2", len(p.Crashes))
+	}
+	if err := p.Validate(3); err != nil {
+		t.Fatalf("capped plan invalid: %v", err)
+	}
+	r := Generate(7, ScheduleSpec{Executors: 3, Window: 100, Crashes: 5, Replace: true})
+	if len(r.Crashes) != 3 {
+		t.Fatalf("replaced crashes = %d, want capped at executors = 3", len(r.Crashes))
+	}
+}
+
+func TestHashMatchesHistoricalScheduler(t *testing.T) {
+	// TaskHash/AttemptUniform replaced the scheduler's private
+	// failureHash/failureUniform; the constants below were produced by
+	// the original implementation and must never drift, or every seeded
+	// run's failure schedule silently changes.
+	h := TaskHash(11, 3, 5)
+	if h != 0x69e0af2c3f5dd7e4 {
+		t.Fatalf("TaskHash(11,3,5) = %#x", h)
+	}
+	u := AttemptUniform(h, 2)
+	if u != 0.5097301531169209 {
+		t.Fatalf("AttemptUniform = %v", u)
+	}
+}
+
+func TestJobAbortedErrorFormats(t *testing.T) {
+	err := &JobAbortedError{Job: 2, Reason: "task 5 failed 4 attempts", Attempts: 4}
+	msg := err.Error()
+	for _, frag := range []string{"job 2", "4 attempts", "task 5"} {
+		if !strings.Contains(msg, frag) {
+			t.Fatalf("error %q missing %q", msg, frag)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package faults
+
+// The draws below are the engine's shared randomness primitives for fault
+// injection: splitmix64-style finalizers over identifying coordinates.
+// They are pure functions of their inputs, so any schedule derived from
+// them is reproducible bit-for-bit regardless of execution order or
+// phase-1 worker count.
+
+// TaskHash mixes the identifying coordinates of a task: the application
+// seed, the stage sequence number and the task's index within the stage.
+// (Identical to the scheduler's historical failure hash, so seeded runs
+// keep their draw sequences.)
+func TaskHash(seed int64, stage, part int) uint64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(stage)<<32 ^ uint64(part)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// AttemptUniform derives a deterministic uniform in [0,1) for one attempt
+// of a hashed task.
+func AttemptUniform(h uint64, attempt int) float64 {
+	x := h ^ uint64(attempt)*0xd6e8feb86659fd93
+	x ^= x >> 32
+	x *= 0xd6e8feb86659fd93
+	x ^= x >> 32
+	return float64(x>>11) / float64(1<<53)
+}
+
+// Mix chains splitmix64 finalization over a sequence of values, producing
+// one well-mixed 64-bit hash.
+func Mix(vals ...uint64) uint64 {
+	x := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vals {
+		x ^= v + 0x9e3779b97f4a7c15 + (x << 6) + (x >> 2)
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	return x
+}
+
+// Uniform maps a hash to a deterministic uniform in [0,1).
+func Uniform(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/energy"
 	"repro/internal/executor"
+	"repro/internal/faults"
 	"repro/internal/memsim"
 	"repro/internal/numa"
 	"repro/internal/sim"
@@ -43,6 +44,11 @@ type RunSpec struct {
 	// runtime.GOMAXPROCS(0), 1 forces sequential computation. Virtual-time
 	// results are identical either way.
 	TaskParallelism int
+	// Faults is the deterministic fault schedule for the run (executor
+	// crashes, stragglers, injected task failures); nil injects nothing.
+	// A run whose recovery budget is exhausted returns the job-abort
+	// error instead of a result.
+	Faults *faults.Plan
 	// Seed defaults to 1.
 	Seed int64
 }
@@ -83,10 +89,17 @@ type RunResult struct {
 	// NVMCounters sums the media counters of the two DCPM tiers, for
 	// placement studies that split traffic between technologies.
 	NVMCounters memsim.Counters
+	// Engine is a snapshot of the scheduler's engine-level counters,
+	// including the recovery.* family a fault plan drives.
+	Engine map[string]int64
 }
 
-// Run executes one experiment cell on a fresh simulated cluster.
-func Run(spec RunSpec) (RunResult, error) {
+// Run executes one experiment cell on a fresh simulated cluster. Under a
+// fault plan whose recovery budget the workload exhausts, the scheduler's
+// job abort surfaces here as an ordinary *faults.JobAbortedError — callers
+// distinguish "the configuration is invalid" from "the run gave up" with
+// errors.As.
+func Run(spec RunSpec) (result RunResult, err error) {
 	spec = spec.withDefaults()
 	w, err := workloads.ByName(spec.Workload)
 	if err != nil {
@@ -100,12 +113,26 @@ func Run(spec RunSpec) (RunResult, error) {
 		BandwidthCap:       spec.BandwidthCap,
 		Placement:          spec.Placement,
 		TaskParallelism:    spec.TaskParallelism,
+		Faults:             spec.Faults,
 		Seed:               spec.Seed,
 	}
 	if err := conf.Validate(); err != nil {
 		return RunResult{}, fmt.Errorf("hibench: %s: %w", spec, err)
 	}
 	app := cluster.New(conf)
+	// The scheduler signals an exhausted recovery budget by panicking
+	// with the typed abort; convert it into this function's error so the
+	// rdd.Driver interface stays panic-free for callers.
+	defer func() {
+		if r := recover(); r != nil {
+			aborted, ok := r.(*faults.JobAbortedError)
+			if !ok {
+				panic(r)
+			}
+			result = RunResult{}
+			err = fmt.Errorf("hibench: %s: %w", spec, aborted)
+		}
+	}()
 	summary := w.Run(app, spec.Size)
 	res := RunResult{
 		Spec:        spec,
@@ -118,5 +145,6 @@ func Run(spec RunSpec) (RunResult, error) {
 	}
 	res.NVMCounters.Add(app.System().Tier(memsim.Tier2).Counters())
 	res.NVMCounters.Add(app.System().Tier(memsim.Tier3).Counters())
+	res.Engine = app.EngineCounters().Snapshot()
 	return res, nil
 }

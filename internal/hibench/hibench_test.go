@@ -1,10 +1,12 @@
 package hibench
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"repro/internal/executor"
+	"repro/internal/faults"
 	"repro/internal/memsim"
 	"repro/internal/workloads"
 )
@@ -100,5 +102,52 @@ func TestRunDeterministicAcrossCalls(t *testing.T) {
 	}
 	if a.Metrics.MediaReads != b.Metrics.MediaReads {
 		t.Fatal("counters differ across identical runs")
+	}
+}
+
+// A fault plan that exhausts the recovery budget must surface as an
+// ordinary error carrying the typed abort — never a panic, never a
+// half-filled result.
+func TestRunSurfacesJobAbort(t *testing.T) {
+	res, err := Run(RunSpec{
+		Workload: "sort", Size: workloads.Tiny, Tier: memsim.Tier0,
+		// Rate 0.9 with a cap of 1 fails some task's only retry almost
+		// surely on the first stage.
+		Faults: &faults.Plan{TaskFailureRate: 0.9, MaxTaskFailures: 1},
+	})
+	if err == nil {
+		t.Fatal("exhausted fault plan returned no error")
+	}
+	var aborted *faults.JobAbortedError
+	if !errors.As(err, &aborted) {
+		t.Fatalf("error %v does not wrap *faults.JobAbortedError", err)
+	}
+	if res.Summary.Records != 0 {
+		t.Fatalf("aborted run returned a partial result: %+v", res.Summary)
+	}
+	if !strings.Contains(err.Error(), "sort") {
+		t.Fatalf("abort error does not name the cell: %v", err)
+	}
+}
+
+// A survivable fault plan still produces the full record, including the
+// engine counter snapshot with the recovery family populated.
+func TestRunRecordsRecoveryCounters(t *testing.T) {
+	res := mustRun(t, RunSpec{
+		Workload: "sort", Size: workloads.Tiny, Tier: memsim.Tier0,
+		Faults: &faults.Plan{TaskFailureRate: 0.3, MaxTaskFailures: 16},
+	})
+	if res.Engine["recovery.task_retries"] == 0 {
+		t.Fatalf("rate-0.3 run recorded no task retries: %v", res.Engine)
+	}
+	if res.Engine["tasks.computed"] == 0 {
+		t.Fatalf("engine snapshot missing task counts: %v", res.Engine)
+	}
+	clean := mustRun(t, RunSpec{Workload: "sort", Size: workloads.Tiny, Tier: memsim.Tier0})
+	if clean.Summary != res.Summary {
+		t.Fatal("task retries changed workload results")
+	}
+	if clean.Duration >= res.Duration {
+		t.Fatalf("retries were free: %v vs clean %v", res.Duration, clean.Duration)
 	}
 }

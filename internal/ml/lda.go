@@ -33,6 +33,21 @@ func NewLDAState(topics, vocab int, alpha, beta float64) *LDAState {
 	}
 }
 
+// Clone deep-copies the count tables. Broadcasts must snapshot: real
+// Spark serializes the value at broadcast time, so later driver-side
+// Apply calls never leak into an earlier iteration's closure — which is
+// exactly what lineage recomputation of an old generation relies on.
+func (s *LDAState) Clone() *LDAState {
+	return &LDAState{
+		Topics:     s.Topics,
+		Vocab:      s.Vocab,
+		WordTopic:  append([]int64(nil), s.WordTopic...),
+		TopicTotal: append([]int64(nil), s.TopicTotal...),
+		Alpha:      s.Alpha,
+		Beta:       s.Beta,
+	}
+}
+
 // ByteSize reports the broadcast size of the state.
 func (s *LDAState) ByteSize() int64 {
 	return int64(8*len(s.WordTopic) + 8*len(s.TopicTotal) + 64)
@@ -83,6 +98,18 @@ type Document struct {
 // ByteSize implements the engine's Sized interface.
 func (d *Document) ByteSize() int64 {
 	return int64(24*3 + 8*len(d.Words) + 8*len(d.Topics) + 8*len(d.TopicCounts))
+}
+
+// Clone returns an independent copy of the document's mutable state.
+// Words is shared: token ids never change after generation. Gibbs
+// resampling must operate on clones so that a cached predecessor
+// iteration stays immutable and lineage recomputation remains exact.
+func (d *Document) Clone() *Document {
+	return &Document{
+		Words:       d.Words,
+		Topics:      append([]int(nil), d.Topics...),
+		TopicCounts: append([]int(nil), d.TopicCounts...),
+	}
 }
 
 // InitDocument assigns random topics to a token list.

@@ -169,7 +169,7 @@ func mergeSegments[K comparable, V, C any](ctx *executor.TaskContext, shuffleID,
 	var out []Pair[K, C]
 	var probeBytes int64
 	var n int
-	for _, seg := range ctx.Shuffle.Inputs(shuffleID, reduce) {
+	for _, seg := range ctx.FetchShuffleInputs(shuffleID, reduce) {
 		if seg == nil {
 			continue
 		}
@@ -233,7 +233,7 @@ func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], p Partitioner[K]) *RDD
 	return newRDD(d, "partitionBy", p.NumPartitions(), []Dep{dep},
 		func(ctx *executor.TaskContext, reduce int) []Pair[K, V] {
 			var out []Pair[K, V]
-			for _, seg := range ctx.Shuffle.Inputs(shuffleID, reduce) {
+			for _, seg := range ctx.FetchShuffleInputs(shuffleID, reduce) {
 				if seg == nil {
 					continue
 				}
@@ -329,7 +329,7 @@ func CoGroup[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], par
 			}
 			var n int
 			var probeBytes int64
-			for _, seg := range ctx.Shuffle.Inputs(leftID, reduce) {
+			for _, seg := range ctx.FetchShuffleInputs(leftID, reduce) {
 				if seg == nil {
 					continue
 				}
@@ -341,7 +341,7 @@ func CoGroup[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], par
 					n++
 				}
 			}
-			for _, seg := range ctx.Shuffle.Inputs(rightID, reduce) {
+			for _, seg := range ctx.FetchShuffleInputs(rightID, reduce) {
 				if seg == nil {
 					continue
 				}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/executor"
+	"repro/internal/faults"
 	"repro/internal/memsim"
 	"repro/internal/rdd"
 	"repro/internal/scheduler"
@@ -166,6 +167,9 @@ func TestFailureInjectionDeterministicAcrossWorkerCounts(t *testing.T) {
 		conf.CoresPerExecutor = 4
 		conf.DefaultParallelism = 6
 		conf.TaskFailureRate = 0.3
+		// Keep the flaky run below the abort threshold: this test pins
+		// retry determinism, not exhaustion.
+		conf.Faults = &faults.Plan{MaxTaskFailures: 16}
 		conf.Seed = 11
 		conf.TaskParallelism = workers
 		app := cluster.New(conf)

@@ -14,6 +14,21 @@
 // executor model. Every virtual-time number and counter is therefore
 // bit-identical to a fully sequential run while wall-clock scales with the
 // worker count.
+//
+// The scheduler is also the recovery engine behind the deterministic fault
+// plans of internal/faults, mirroring Spark's lineage-based fault
+// tolerance. Scheduled executor crashes are applied at stage boundaries:
+// the crashed executor's block-manager contents are dropped and its map
+// outputs deregistered, so lost cache blocks recompute from lineage on
+// next access and lost shuffle segments surface as fetch failures
+// (*shuffle.SegmentLostError) in reduce tasks. A stage attempt that hits a
+// fetch failure commits nothing; its partial work is replayed for
+// virtual-time accounting, the parent map stage is resubmitted for exactly
+// the lost partitions, and the stage retries — bounded by the plan's
+// MaxStageAttempts, beyond which the job aborts with
+// *faults.JobAbortedError. Because every retry recomputes from the same
+// seeds and commits in the same partition order, a recovered run's results
+// are byte-identical to a fault-free run's.
 package scheduler
 
 import (
@@ -23,6 +38,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/executor"
+	"repro/internal/faults"
 	"repro/internal/rdd"
 	"repro/internal/shuffle"
 	"repro/internal/sim"
@@ -46,34 +62,53 @@ type Env interface {
 	// task data concurrently during phase 1. Values <= 0 select
 	// runtime.GOMAXPROCS(0); 1 is the sequential escape hatch.
 	TaskParallelism() int
+	// FaultPlan is the application's deterministic fault schedule; nil
+	// injects nothing.
+	FaultPlan() *faults.Plan
 }
 
 // Stats accumulates scheduler-level observables across jobs, feeding the
 // system-level metrics of the paper's Figure 5.
 type Stats struct {
 	Jobs        int
-	Stages      int
+	Stages      int // stage attempts simulated, failed attempts included
 	Tasks       int
 	TaskRetries int // injected failures that were retried
 	CPUNS       float64
 	StallNS     float64
 	ShuffleRead int64 // bytes fetched by reduce tasks
 	MaxSharers  int
+
+	// Recovery observables (all zero on a fault-free run).
+	ExecutorsLost    int // scheduled crashes applied
+	FetchFailures    int // stage attempts lost to missing map outputs
+	Resubmissions    int // parent map stages rerun for lost partitions
+	SpeculativeTasks int // straggler clones launched
 }
 
 // Scheduler owns shuffle materialization state for one application.
 type Scheduler struct {
 	env  Env
 	done map[int]bool // shuffle id -> outputs materialized
+	// shuffles remembers each materialized shuffle's dependency so a
+	// fetch failure can resubmit its map stage from lineage.
+	shuffles map[int]*rdd.ShuffleDep
 	// reg counts engine-level events (tasks computed, parallel vs
 	// sequential stages); workers update it concurrently.
 	reg   *telemetry.Registry
 	stats Stats
+	// crashCursor indexes the next unapplied crash in the fault plan.
+	crashCursor int
 }
 
 // New builds a scheduler over the environment.
 func New(env Env) *Scheduler {
-	return &Scheduler{env: env, done: make(map[int]bool), reg: telemetry.NewRegistry()}
+	return &Scheduler{
+		env:      env,
+		done:     make(map[int]bool),
+		shuffles: make(map[int]*rdd.ShuffleDep),
+		reg:      telemetry.NewRegistry(),
+	}
 }
 
 // Stats returns accumulated execution statistics.
@@ -97,101 +132,169 @@ func (s *Scheduler) workers(n int) int {
 	return w
 }
 
-// computeStage is phase 1 + commit: it builds one TaskContext per
-// partition, runs the task body over all partitions on the worker pool,
-// then commits each context's staged side effects in partition order and
-// returns the simulation tasks, ready for virtual-time replay. A task
-// panic is re-raised on the driver goroutine after all workers join —
-// deterministically the lowest-partition panic when several tasks fail —
-// with no partial commits.
-func (s *Scheduler) computeStage(n int, body func(ctx *executor.TaskContext, part int)) []executor.SimTask {
+// computeAttempt is phase 1 + commit for one stage attempt over the given
+// partitions: it builds one TaskContext per partition, runs the task body
+// over all of them on the worker pool capturing per-task panics, then —
+// if no task failed — commits each context's staged side effects in
+// partition order and returns the simulation tasks.
+//
+// A non-fetch task panic is re-raised on the driver goroutine after all
+// workers join — deterministically the lowest-partition one when several
+// tasks fail — with no partial commits. A fetch failure
+// (*shuffle.SegmentLostError) instead returns the lowest-partition error
+// together with the attempt's partial cost profiles, again committing
+// nothing: the caller charges the wasted work in virtual time and
+// resubmits the lost parent outputs.
+func (s *Scheduler) computeAttempt(parts []int, body func(ctx *executor.TaskContext, part int)) ([]executor.SimTask, *shuffle.SegmentLostError) {
+	n := len(parts)
 	ctxs := make([]*executor.TaskContext, n)
-	for part := 0; part < n; part++ {
-		ctxs[part] = s.newContext(part)
+	for i, part := range parts {
+		ctxs[i] = s.newContext(part)
 	}
+	panics := make([]any, n)
 	workers := s.workers(n)
 	if workers <= 1 {
 		s.reg.Add("stages.sequential", 1)
-		for part := 0; part < n; part++ {
-			body(ctxs[part], part)
-			s.reg.Add("tasks.computed", 1)
+		for i, part := range parts {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panics[i] = r
+					}
+				}()
+				body(ctxs[i], part)
+				s.reg.Add("tasks.computed", 1)
+			}()
 		}
 	} else {
 		s.reg.Add("stages.parallel", 1)
-		s.fanOut(ctxs, body, workers)
+		s.fanOut(ctxs, parts, body, workers, panics)
+	}
+
+	// Non-fetch panics win over fetch failures: they are bugs (or test
+	// probes) that recovery must not mask. Among fetch failures the
+	// lowest-partition one is chosen, so recovery is deterministic for
+	// any worker count.
+	var fetch *shuffle.SegmentLostError
+	for _, p := range panics {
+		if p == nil {
+			continue
+		}
+		if lost, ok := p.(*shuffle.SegmentLostError); ok {
+			if fetch == nil {
+				fetch = lost
+			}
+			continue
+		}
+		panic(p)
 	}
 	tasks := make([]executor.SimTask, n)
-	for part := 0; part < n; part++ {
-		ctxs[part].Commit()
-		tasks[part] = executor.SimTask{Profile: ctxs[part].Profile(), ExecID: ctxs[part].ExecID}
+	for i := range parts {
+		if fetch == nil {
+			ctxs[i].Commit()
+		}
+		tasks[i] = executor.SimTask{Profile: ctxs[i].Profile(), ExecID: ctxs[i].ExecID}
 	}
-	return tasks
+	return tasks, fetch
 }
 
 // fanOut runs the task body over every context on `workers` goroutines.
 // Work is handed out through an atomic partition cursor; each worker
-// recovers task panics into a per-partition slot so the driver can re-raise
-// the first (lowest-partition) one after the join.
-func (s *Scheduler) fanOut(ctxs []*executor.TaskContext, body func(ctx *executor.TaskContext, part int), workers int) {
+// recovers task panics into a per-partition slot so the driver can react
+// deterministically after the join.
+func (s *Scheduler) fanOut(ctxs []*executor.TaskContext, parts []int, body func(ctx *executor.TaskContext, part int), workers int, panics []any) {
 	var cursor atomic.Int64
-	panics := make([]any, len(ctxs))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				part := int(cursor.Add(1)) - 1
-				if part >= len(ctxs) {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(ctxs) {
 					return
 				}
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
-							panics[part] = r
+							panics[i] = r
 						}
 					}()
-					body(ctxs[part], part)
+					body(ctxs[i], parts[i])
 					s.reg.Add("tasks.computed", 1)
 				}()
 			}
 		}()
 	}
 	wg.Wait()
-	for _, p := range panics {
-		if p != nil {
-			panic(p)
+}
+
+// runStage executes one stage to completion through the recovery loop:
+// due crashes are applied at the attempt boundary, the attempt is
+// computed, and on a fetch failure the attempt's partial work is charged
+// in virtual time, the lost parent map outputs are recomputed from
+// lineage, and the stage retries — up to the fault plan's stage-attempt
+// cap, beyond which the job aborts.
+func (s *Scheduler) runStage(name, category string, parts []int, body func(ctx *executor.TaskContext, part int)) {
+	k := s.env.Kernel()
+	attemptCap := s.env.FaultPlan().StageAttemptCap()
+	for attempt := 1; ; attempt++ {
+		s.applyDueFaults()
+		tasks, fetch := s.computeAttempt(parts, body)
+		if fetch == nil {
+			s.injectFailures(tasks, parts)
+			tasks = s.speculate(tasks)
+			start := k.Now()
+			res := executor.SimulateStage(k, s.env.Pool(), tasks, s.env.Cost())
+			s.accountStage(res, len(parts))
+			s.env.Tracer().Add(trace.Span{
+				Name:     name,
+				Category: category,
+				Start:    start,
+				End:      k.Now(),
+				Tasks:    len(parts),
+			})
+			return
 		}
+
+		// Fetch failed: charge the doomed attempt's partial work (the
+		// reduce tasks ran until the missing segment), then recover.
+		s.stats.FetchFailures++
+		s.reg.Add("recovery.fetch_failures", 1)
+		start := k.Now()
+		res := executor.SimulateStage(k, s.env.Pool(), tasks, s.env.Cost())
+		s.accountStage(res, len(parts))
+		s.env.Tracer().Add(trace.Span{
+			Name:     fmt.Sprintf("%s — attempt %d fetch failed (%v)", name, attempt, fetch),
+			Category: "recovery",
+			Start:    start,
+			End:      k.Now(),
+			Tasks:    len(parts),
+		})
+		if attempt >= attemptCap {
+			s.abortJob(fmt.Sprintf("stage %q exhausted %d attempts: %v", name, attempt, fetch), attempt)
+		}
+		s.recoverShuffle(fetch.Shuffle)
 	}
 }
 
 // RunJob executes fn over every partition of final, materializing upstream
 // shuffles first, and returns per-partition results in partition order.
 func (s *Scheduler) RunJob(final *rdd.Base, fn rdd.ResultFunc) []any {
-	k := s.env.Kernel()
 	s.stats.Jobs++
 	s.advance(sim.Duration(s.env.Cost().JobOverheadNS))
 
 	s.visit(final)
 
 	// Result stage: phase-1 compute fills results task-locally (each task
-	// writes only its own slice index); the WaitGroup join in computeStage
-	// orders those writes before the driver reads them.
+	// writes only its own slice index); the WaitGroup join in computeAttempt
+	// orders those writes before the driver reads them. A retried attempt
+	// overwrites with recomputed — identical — values.
 	results := make([]any, final.NumParts)
-	tasks := s.computeStage(final.NumParts, func(ctx *executor.TaskContext, part int) {
-		results[part] = fn(ctx, part)
-	})
-	s.injectFailures(tasks)
-	start := k.Now()
-	res := executor.SimulateStage(k, s.env.Pool(), tasks, s.env.Cost())
-	s.accountStage(res, len(tasks))
-	s.env.Tracer().Add(trace.Span{
-		Name:     fmt.Sprintf("result stage (job %d, %s)", s.stats.Jobs, final),
-		Category: "stage",
-		Start:    start,
-		End:      k.Now(),
-		Tasks:    len(tasks),
-	})
+	s.runStage(fmt.Sprintf("result stage (job %d, %s)", s.stats.Jobs, final), "stage",
+		allParts(final.NumParts), func(ctx *executor.TaskContext, part int) {
+			results[part] = fn(ctx, part)
+		})
 	return results
 }
 
@@ -208,7 +311,9 @@ func (s *Scheduler) visit(b *rdd.Base) {
 }
 
 // ensureShuffle runs the map stage for one shuffle dependency unless its
-// outputs already exist (shuffle reuse across jobs, like Spark).
+// outputs already exist (shuffle reuse across jobs, like Spark). The
+// dependency is remembered so lost outputs can be recomputed from lineage
+// after an executor crash.
 func (s *Scheduler) ensureShuffle(d *rdd.ShuffleDep) {
 	if s.done[d.ShuffleID] {
 		return
@@ -216,42 +321,179 @@ func (s *Scheduler) ensureShuffle(d *rdd.ShuffleDep) {
 	s.visit(d.P) // upstream shuffles first
 	store := s.env.ShuffleStore()
 	store.RegisterShuffle(d.ShuffleID, d.P.NumParts)
+	s.shuffles[d.ShuffleID] = d
 
 	before := store.TotalBytes()
 	// Map stage: segments are staged per task and land in the store during
-	// the partition-ordered commit inside computeStage, so the byte delta
+	// the partition-ordered commit inside computeAttempt, so the byte delta
 	// below observes the full stage's output.
-	tasks := s.computeStage(d.P.NumParts, func(ctx *executor.TaskContext, mapPart int) {
-		d.WriteMap(ctx, mapPart)
-	})
-	s.injectFailures(tasks)
-	start := s.env.Kernel().Now()
-	res := executor.SimulateStage(s.env.Kernel(), s.env.Pool(), tasks, s.env.Cost())
-	s.accountStage(res, len(tasks))
-	s.env.Tracer().Add(trace.Span{
-		Name:     fmt.Sprintf("map stage (shuffle %d)", d.ShuffleID),
-		Category: "stage",
-		Start:    start,
-		End:      s.env.Kernel().Now(),
-		Tasks:    len(tasks),
-	})
+	s.runStage(fmt.Sprintf("map stage (shuffle %d)", d.ShuffleID), "stage",
+		allParts(d.P.NumParts), func(ctx *executor.TaskContext, mapPart int) {
+			d.WriteMap(ctx, mapPart)
+		})
 	s.stats.ShuffleRead += store.TotalBytes() - before
 	s.done[d.ShuffleID] = true
+}
+
+// recoverShuffle resubmits the map stage of one shuffle for exactly its
+// lost partitions — Spark's reaction to FetchFailed. The resubmitted map
+// tasks recompute from lineage with the same seeds and rewrite their
+// segments, clearing the lost marks; if their own parents were lost too,
+// the nested runStage recovers them recursively.
+func (s *Scheduler) recoverShuffle(shuffleID int) {
+	d := s.shuffles[shuffleID]
+	if d == nil {
+		panic(fmt.Sprintf("scheduler: fetch failure for unknown shuffle %d", shuffleID))
+	}
+	lost := s.env.ShuffleStore().LostMapParts(shuffleID)
+	if len(lost) == 0 {
+		return // already recovered on another branch
+	}
+	s.stats.Resubmissions++
+	s.reg.Add("recovery.stage_resubmissions", 1)
+	s.runStage(fmt.Sprintf("map stage (shuffle %d) resubmission — %d lost partitions", shuffleID, len(lost)),
+		"recovery", lost, func(ctx *executor.TaskContext, mapPart int) {
+			d.WriteMap(ctx, mapPart)
+		})
+}
+
+// applyDueFaults applies every scheduled executor crash whose virtual time
+// has passed. Crashes land at stage-attempt boundaries: the driver learns
+// about executor loss asynchronously, like Spark's heartbeat timeout.
+func (s *Scheduler) applyDueFaults() {
+	plan := s.env.FaultPlan()
+	if plan == nil {
+		return
+	}
+	now := s.env.Kernel().Now()
+	for s.crashCursor < len(plan.Crashes) && plan.Crashes[s.crashCursor].At <= now {
+		c := plan.Crashes[s.crashCursor]
+		s.crashCursor++
+		s.crashExecutor(c)
+	}
+}
+
+// crashExecutor applies one executor loss: the executor's block-manager
+// contents are dropped (lost cache blocks recompute from lineage on next
+// access) and its map outputs deregistered (subsequent fetches fail typed
+// and trigger map-stage resubmission). A replaced executor comes back in
+// the same slot with a fresh block manager, paying the driver-side launch
+// delay plus the startup stage; an unreplaced one is removed from
+// scheduling, and losing the last executor aborts the job.
+func (s *Scheduler) crashExecutor(c faults.Crash) {
+	pool := s.env.Pool()
+	k := s.env.Kernel()
+	start := k.Now()
+	blocks, blockBytes := pool.Executors[c.Exec].Blocks.RemoveAll()
+	segs, segBytes := s.env.ShuffleStore().DeregisterExecutor(c.Exec)
+	s.stats.ExecutorsLost++
+	s.reg.Add("recovery.executor_crashes", 1)
+	s.reg.Add("recovery.cache_blocks_lost", int64(blocks))
+	s.reg.Add("recovery.cache_bytes_lost", blockBytes)
+	s.reg.Add("recovery.map_outputs_lost", int64(segs))
+	s.reg.Add("recovery.shuffle_bytes_lost", segBytes)
+	if c.Replace {
+		fresh := pool.Replace(c.Exec)
+		s.reg.Add("recovery.executors_replaced", 1)
+		s.advance(sim.Duration(s.env.Cost().ExecLaunchSerialNS))
+		task := executor.StartupTask(pool, fresh, s.env.Cost(), s.env.ShuffleStore(), s.env.Seed())
+		executor.SimulateStage(k, pool, []executor.SimTask{task}, s.env.Cost())
+	} else {
+		pool.MarkDead(c.Exec)
+	}
+	s.env.Tracer().Add(trace.Span{
+		Name: fmt.Sprintf("executor %d crash at %v — %d cache blocks, %d map segments lost, replaced=%v",
+			c.Exec, c.At, blocks, segs, c.Replace),
+		Category: "recovery",
+		Start:    start,
+		End:      k.Now(),
+	})
+	if pool.AliveCount() == 0 {
+		s.abortJob("all executors lost", s.stats.ExecutorsLost)
+	}
+}
+
+// speculate applies straggler factors and, when the fault plan enables
+// speculation, clones each task placed on a straggling executor onto the
+// least-loaded fastest live executor. The clone races the original in the
+// timing simulation; the loser is killed (Spark's spark.speculation).
+// Clones are timing-only: the task's data side effects were already
+// committed once, deterministically.
+func (s *Scheduler) speculate(tasks []executor.SimTask) []executor.SimTask {
+	plan := s.env.FaultPlan()
+	for i := range tasks {
+		tasks[i].SlowFactor = plan.SlowFactor(tasks[i].ExecID)
+	}
+	if plan == nil || !plan.Speculation {
+		return tasks
+	}
+	threshold := plan.SpeculationThreshold()
+	pool := s.env.Pool()
+	load := make([]int, pool.Size())
+	for _, t := range tasks {
+		load[t.ExecID]++
+	}
+	var clones []executor.SimTask
+	for i, t := range tasks {
+		if t.SlowFactor < threshold {
+			continue
+		}
+		target := -1
+		for id := 0; id < pool.Size(); id++ {
+			if !pool.Alive(id) || id == t.ExecID {
+				continue
+			}
+			if target < 0 || better(plan.SlowFactor(id), load[id], id, plan.SlowFactor(target), load[target], target) {
+				target = id
+			}
+		}
+		if target < 0 || plan.SlowFactor(target) >= t.SlowFactor {
+			continue // nowhere faster to clone onto
+		}
+		clones = append(clones, executor.SimTask{
+			Profile:       t.Profile,
+			ExecID:        target,
+			SlowFactor:    plan.SlowFactor(target),
+			SpeculativeOf: i + 1,
+		})
+		load[target]++
+		s.stats.SpeculativeTasks++
+		s.reg.Add("recovery.speculative_tasks", 1)
+	}
+	return append(tasks, clones...)
+}
+
+// better orders speculation targets by (slow factor, load, slot id).
+func better(f1 float64, l1, id1 int, f2 float64, l2, id2 int) bool {
+	if f1 != f2 {
+		return f1 < f2
+	}
+	if l1 != l2 {
+		return l1 < l2
+	}
+	return id1 < id2
 }
 
 // injectFailures replays failed task attempts: with failure rate f, each
 // task independently fails Geometric(f) times before succeeding (Spark
 // re-runs the task; its cost is paid again per attempt). The draw is
-// seeded per (seed, stage, partition) so runs stay deterministic.
-func (s *Scheduler) injectFailures(tasks []executor.SimTask) {
+// seeded per (seed, stage, partition) so runs stay deterministic. A task
+// whose every attempt up to the plan's spark.task.maxFailures bound fails
+// aborts the job — flaky tasks cannot silently succeed past the cap.
+func (s *Scheduler) injectFailures(tasks []executor.SimTask, parts []int) {
 	rate := s.env.TaskFailureRate()
 	if rate <= 0 {
 		return
 	}
+	maxFailures := s.env.FaultPlan().TaskFailureCap()
 	for i := range tasks {
-		h := failureHash(s.env.Seed(), s.stats.Stages, i)
+		h := faults.TaskHash(s.env.Seed(), s.stats.Stages, parts[i])
 		attempts := 1
-		for rate > failureUniform(h, attempts) && attempts < 4 {
+		for rate > faults.AttemptUniform(h, attempts) {
+			if attempts >= maxFailures {
+				s.abortJob(fmt.Sprintf("task %d failed %d attempts (spark.task.maxFailures)",
+					parts[i], attempts), attempts)
+			}
 			attempts++
 		}
 		if attempts == 1 {
@@ -262,27 +504,17 @@ func (s *Scheduler) injectFailures(tasks []executor.SimTask) {
 			tasks[i].Profile.Add(base)
 		}
 		s.stats.TaskRetries += attempts - 1
+		s.reg.Add("recovery.task_retries", int64(attempts-1))
 	}
 }
 
-// failureHash mixes the identifying coordinates of a task attempt.
-func failureHash(seed int64, stage, part int) uint64 {
-	x := uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(stage)<<32 ^ uint64(part)
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
-
-// failureUniform derives a deterministic uniform in [0,1) per attempt.
-func failureUniform(h uint64, attempt int) float64 {
-	x := h ^ uint64(attempt)*0xd6e8feb86659fd93
-	x ^= x >> 32
-	x *= 0xd6e8feb86659fd93
-	x ^= x >> 32
-	return float64(x>>11) / float64(1<<53)
+// abortJob gives up on the current job with a typed error: recovery
+// budgets are exhausted (or every executor is gone) and rerunning more
+// attempts cannot help. Harness entry points recover the panic into an
+// ordinary error.
+func (s *Scheduler) abortJob(reason string, attempts int) {
+	s.reg.Add("recovery.job_aborts", 1)
+	panic(&faults.JobAbortedError{Job: s.stats.Jobs, Reason: reason, Attempts: attempts})
 }
 
 func (s *Scheduler) newContext(part int) *executor.TaskContext {
@@ -313,4 +545,13 @@ func (s *Scheduler) advance(d sim.Duration) {
 	}
 	k := s.env.Kernel()
 	k.RunUntil(k.Now() + d)
+}
+
+// allParts enumerates 0..n-1.
+func allParts(n int) []int {
+	parts := make([]int, n)
+	for i := range parts {
+		parts[i] = i
+	}
+	return parts
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/executor"
+	"repro/internal/faults"
 	"repro/internal/memsim"
 	"repro/internal/rdd"
 )
@@ -188,6 +189,10 @@ func TestFailureInjectionRetriesAndSlowsDown(t *testing.T) {
 		conf.CoresPerExecutor = 4
 		conf.DefaultParallelism = 8
 		conf.TaskFailureRate = rate
+		// A 30% rate busts the default 4-attempt budget with probability
+		// 0.3^4 per task; raise the cap so this test exercises retries,
+		// not job abort (abort has its own tests).
+		conf.Faults = &faults.Plan{MaxTaskFailures: 16}
 		app := cluster.New(conf)
 		var pairs []rdd.Pair[int, int]
 		for i := 0; i < 2000; i++ {

@@ -9,7 +9,37 @@
 // performed by the task context that reads or writes segments.
 package shuffle
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrSegmentLost is the sentinel behind SegmentLostError: a map output
+// that existed but was lost to an executor crash. Readers must not treat
+// it as an empty segment — the parent map stage has to be resubmitted.
+var ErrSegmentLost = errors.New("shuffle: map output lost")
+
+// SegmentLostError is the typed fetch failure a reduce task hits when a
+// map output it needs was deregistered by an executor crash. It is
+// Spark's FetchFailed: the DAG scheduler reacts by resubmitting the
+// parent map stage for the lost partitions.
+type SegmentLostError struct {
+	// Shuffle is the shuffle whose output is missing.
+	Shuffle int
+	// MapPart is the lost map partition.
+	MapPart int
+	// Reduce is the reduce partition whose fetch failed.
+	Reduce int
+}
+
+// Error implements error.
+func (e *SegmentLostError) Error() string {
+	return fmt.Sprintf("shuffle: fetch failed for shuffle %d: map output %d lost (reduce %d)", e.Shuffle, e.MapPart, e.Reduce)
+}
+
+// Unwrap makes errors.Is(err, ErrSegmentLost) true.
+func (e *SegmentLostError) Unwrap() error { return ErrSegmentLost }
 
 // Segment is one (map partition, reduce partition) bucket of records.
 type Segment struct {
@@ -34,12 +64,20 @@ type key struct {
 type Store struct {
 	segs     map[key]*Segment
 	mapParts map[int]int // shuffleID -> number of map partitions
-	bytes    int64
+	// lost marks map partitions whose outputs were dropped by an
+	// executor crash: shuffleID -> mapPart -> true. A re-registered
+	// output (a resubmitted map task's Put) clears the mark.
+	lost  map[int]map[int]bool
+	bytes int64
 }
 
 // NewStore returns an empty shuffle store.
 func NewStore() *Store {
-	return &Store{segs: make(map[key]*Segment), mapParts: make(map[int]int)}
+	return &Store{
+		segs:     make(map[key]*Segment),
+		mapParts: make(map[int]int),
+		lost:     make(map[int]map[int]bool),
+	}
 }
 
 // RegisterShuffle declares a shuffle's map-side width. Must be called
@@ -78,6 +116,13 @@ func (s *Store) Put(shuffleID, mapPart, reducePart, execID int, records any, ite
 	}
 	s.segs[k] = &Segment{Records: records, Items: items, Bytes: bytes, ExecID: execID}
 	s.bytes += bytes
+	// A rewritten output is no longer lost (map-stage resubmission).
+	if lost, ok := s.lost[shuffleID]; ok {
+		delete(lost, mapPart)
+		if len(lost) == 0 {
+			delete(s.lost, shuffleID)
+		}
+	}
 }
 
 // Get returns one segment, or nil if the map task wrote nothing for this
@@ -86,15 +131,72 @@ func (s *Store) Get(shuffleID, mapPart, reducePart int) *Segment {
 	return s.segs[key{shuffleID, mapPart, reducePart}]
 }
 
+// Fetch returns one segment, distinguishing a legitimately empty output
+// (nil, nil) from one lost to an executor crash (*SegmentLostError).
+func (s *Store) Fetch(shuffleID, mapPart, reducePart int) (*Segment, error) {
+	if s.Lost(shuffleID, mapPart) {
+		return nil, &SegmentLostError{Shuffle: shuffleID, MapPart: mapPart, Reduce: reducePart}
+	}
+	return s.segs[key{shuffleID, mapPart, reducePart}], nil
+}
+
 // Inputs returns the segments feeding one reduce partition, ordered by map
-// partition (deterministic). Missing segments appear as nil entries.
-func (s *Store) Inputs(shuffleID, reducePart int) []*Segment {
+// partition (deterministic). Missing segments appear as nil entries; a map
+// output lost to an executor crash fails the whole fetch with the typed
+// *SegmentLostError for the lowest lost map partition.
+func (s *Store) Inputs(shuffleID, reducePart int) ([]*Segment, error) {
 	n := s.NumMapParts(shuffleID)
 	out := make([]*Segment, n)
 	for m := 0; m < n; m++ {
+		if s.Lost(shuffleID, m) {
+			return nil, &SegmentLostError{Shuffle: shuffleID, MapPart: m, Reduce: reducePart}
+		}
 		out[m] = s.segs[key{shuffleID, m, reducePart}]
 	}
+	return out, nil
+}
+
+// Lost reports whether a map partition's outputs were dropped by an
+// executor crash and not yet rewritten.
+func (s *Store) Lost(shuffleID, mapPart int) bool {
+	return s.lost[shuffleID][mapPart]
+}
+
+// LostMapParts returns the sorted lost map partitions of a shuffle — the
+// exact set a resubmitted map stage must recompute.
+func (s *Store) LostMapParts(shuffleID int) []int {
+	lost := s.lost[shuffleID]
+	if len(lost) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(lost))
+	for m := range lost {
+		out = append(out, m)
+	}
+	sort.Ints(out)
 	return out
+}
+
+// DeregisterExecutor drops every live segment written by one executor —
+// the map-output side of an executor crash — and marks the affected map
+// partitions lost so subsequent fetches fail with ErrSegmentLost instead
+// of silently missing data. It returns the number of segments dropped and
+// their total bytes.
+func (s *Store) DeregisterExecutor(execID int) (segments int, bytes int64) {
+	for k, seg := range s.segs {
+		if seg.ExecID != execID {
+			continue
+		}
+		s.bytes -= seg.Bytes
+		bytes += seg.Bytes
+		segments++
+		delete(s.segs, k)
+		if s.lost[k.shuffle] == nil {
+			s.lost[k.shuffle] = make(map[int]bool)
+		}
+		s.lost[k.shuffle][k.mapPart] = true
+	}
+	return segments, bytes
 }
 
 // TotalBytes is the cumulative size of all live segments.
@@ -109,4 +211,5 @@ func (s *Store) DropShuffle(shuffleID int) {
 		}
 	}
 	delete(s.mapParts, shuffleID)
+	delete(s.lost, shuffleID)
 }

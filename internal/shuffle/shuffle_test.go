@@ -1,6 +1,7 @@
 package shuffle
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -29,7 +30,10 @@ func TestInputsOrderedWithGaps(t *testing.T) {
 	s.RegisterShuffle(5, 4)
 	s.Put(5, 2, 0, 0, "m2", 1, 10)
 	s.Put(5, 0, 0, 0, "m0", 1, 10)
-	in := s.Inputs(5, 0)
+	in, err := s.Inputs(5, 0)
+	if err != nil {
+		t.Fatalf("Inputs: %v", err)
+	}
 	if len(in) != 4 {
 		t.Fatalf("inputs len = %d, want 4", len(in))
 	}
@@ -89,7 +93,76 @@ func TestPanicsOnMisuse(t *testing.T) {
 	}
 	mustPanic("zero map parts", func() { s.RegisterShuffle(1, 0) })
 	mustPanic("put unregistered", func() { s.Put(9, 0, 0, 0, nil, 0, 0) })
-	mustPanic("inputs unregistered", func() { s.Inputs(9, 0) })
+	mustPanic("inputs unregistered", func() {
+		if _, err := s.Inputs(9, 0); err != nil {
+			t.Errorf("unexpected error before panic: %v", err)
+		}
+	})
+}
+
+func TestDeregisterExecutorMarksOutputsLost(t *testing.T) {
+	s := NewStore()
+	s.RegisterShuffle(1, 3)
+	s.Put(1, 0, 0, 0, "a", 1, 100) // exec 0
+	s.Put(1, 1, 0, 1, "b", 1, 50)  // exec 1
+	s.Put(1, 2, 0, 1, "c", 1, 25)  // exec 1
+	s.Put(1, 1, 1, 1, "d", 1, 10)  // exec 1, other reduce
+
+	segs, bytes := s.DeregisterExecutor(1)
+	if segs != 3 || bytes != 85 {
+		t.Fatalf("deregister = (%d segs, %d bytes), want (3, 85)", segs, bytes)
+	}
+	if s.TotalBytes() != 100 {
+		t.Fatalf("total = %d, want 100", s.TotalBytes())
+	}
+	if s.Lost(1, 0) || !s.Lost(1, 1) || !s.Lost(1, 2) {
+		t.Fatalf("lost marks wrong: %v %v %v", s.Lost(1, 0), s.Lost(1, 1), s.Lost(1, 2))
+	}
+	if got := s.LostMapParts(1); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("LostMapParts = %v, want [1 2]", got)
+	}
+
+	// A fetch touching a lost output fails typed; a live one succeeds.
+	if _, err := s.Inputs(1, 0); err == nil {
+		t.Fatal("Inputs over lost outputs did not fail")
+	} else {
+		var lost *SegmentLostError
+		if !errors.As(err, &lost) || lost.Shuffle != 1 || lost.MapPart != 1 || lost.Reduce != 0 {
+			t.Fatalf("err = %v, want SegmentLostError{1,1,0}", err)
+		}
+	}
+	if _, err := s.Fetch(1, 0, 0); err != nil {
+		t.Fatalf("Fetch of live output: %v", err)
+	}
+	if seg, err := s.Fetch(1, 1, 0); seg != nil || err == nil {
+		t.Fatalf("Fetch of lost output = (%v, %v), want (nil, error)", seg, err)
+	}
+
+	// Resubmitted map outputs clear the lost marks.
+	s.Put(1, 1, 0, 0, "b'", 1, 50)
+	s.Put(1, 1, 1, 0, "d'", 1, 10)
+	s.Put(1, 2, 0, 0, "c'", 1, 25)
+	if s.Lost(1, 1) || s.Lost(1, 2) {
+		t.Fatal("lost marks survive resubmission")
+	}
+	if _, err := s.Inputs(1, 0); err != nil {
+		t.Fatalf("Inputs after resubmission: %v", err)
+	}
+	if got := s.LostMapParts(1); got != nil {
+		t.Fatalf("LostMapParts after resubmission = %v, want nil", got)
+	}
+}
+
+func TestDropShuffleClearsLostMarks(t *testing.T) {
+	s := NewStore()
+	s.RegisterShuffle(1, 1)
+	s.Put(1, 0, 0, 3, nil, 0, 10)
+	s.DeregisterExecutor(3)
+	s.DropShuffle(1)
+	s.RegisterShuffle(1, 1)
+	if s.Lost(1, 0) {
+		t.Fatal("lost mark survived DropShuffle")
+	}
 }
 
 // Property: TotalBytes always equals the sum of live segment sizes.

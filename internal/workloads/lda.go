@@ -74,17 +74,32 @@ func (w *LDA) Run(app *cluster.App, size Size) Summary {
 		}
 	}
 
+	// Each Gibbs sweep materializes a NEW cached generation of documents
+	// (resampled clones, plus the sweep's count-table delta) instead of
+	// mutating the cached inputs in place. Cached partitions must stay
+	// immutable: if an executor crash drops a generation's block, lineage
+	// recomputation replays the sweep chain from the surviving ancestor
+	// and reproduces the exact assignments — in-place mutation would
+	// silently rewind the lost documents to their initial topics.
+	batches := rdd.MapPartitions(docs,
+		func(ctx *executor.TaskContext, part int, in []*ml.Document) []*ldaBatch {
+			return []*ldaBatch{{Docs: in}}
+		})
 	for it := 0; it < p.Iterations; it++ {
-		st := state
+		st := state.Clone()
 		bcast := rdd.NewBroadcast(app, st, st.ByteSize())
-		deltas := rdd.Collect(rdd.MapPartitions(docs,
-			func(ctx *executor.TaskContext, part int, in []*ml.Document) []*ml.LDADelta {
+		batches = rdd.Cache(rdd.MapPartitions(batches,
+			func(ctx *executor.TaskContext, part int, in []*ldaBatch) []*ldaBatch {
 				st := bcast.Value(ctx) // global count tables
 				delta := st.NewLDADelta()
 				r := rand.New(rand.NewSource(seed*7919 + int64(part) + int64(it)*13))
+				docs := in[0].Docs
+				out := make([]*ml.Document, len(docs))
 				totalFlops, totalUpdates, tokens := 0, 0, 0
-				for _, d := range in {
-					f, u := ml.ResampleDocument(d, st, delta, r)
+				for j, d := range docs {
+					nd := d.Clone()
+					f, u := ml.ResampleDocument(nd, st, delta, r)
+					out[j] = nd
 					totalFlops += f
 					totalUpdates += u
 					tokens += len(d.Words)
@@ -94,10 +109,10 @@ func (w *LDA) Run(app *cluster.App, size Size) Summary {
 				// updates (doc-topic + word-topic + totals).
 				ctx.MemRand(memsim.Read, tokens*p.Topics/4+1, int64(tokens*p.Topics*2))
 				ctx.MemRand(memsim.Write, totalUpdates, int64(totalUpdates*8))
-				return []*ml.LDADelta{delta}
+				return []*ldaBatch{{Docs: out, Delta: delta}}
 			}))
-		for _, d := range deltas {
-			state.Apply(d)
+		for _, b := range rdd.Collect(batches) {
+			state.Apply(b.Delta)
 		}
 	}
 
@@ -105,18 +120,41 @@ func (w *LDA) Run(app *cluster.App, size Size) Summary {
 	// assignments give ~1.2/topics; Gibbs drives it toward the generator's
 	// 0.6 mixture weight as sweeps accumulate).
 	share := 0.0
-	for _, d := range rdd.Collect(docs) {
+	for _, b := range rdd.Collect(batches) {
+		finalShare(&share, b.Docs)
+	}
+	return Summary{
+		Records: p.Docs,
+		Metric:  share / float64(p.Docs),
+		Note:    "dominant_topic_share",
+	}
+}
+
+// ldaBatch is one partition's generation: the resampled documents and the
+// count-table delta their sweep produced.
+type ldaBatch struct {
+	Docs  []*ml.Document
+	Delta *ml.LDADelta
+}
+
+// ByteSize implements the engine's Sized interface.
+func (b *ldaBatch) ByteSize() int64 {
+	total := int64(24) + b.Delta.ByteSize()
+	for _, d := range b.Docs {
+		total += d.ByteSize()
+	}
+	return total
+}
+
+// finalShare accumulates each document's dominant-topic share.
+func finalShare(share *float64, docs []*ml.Document) {
+	for _, d := range docs {
 		max := 0
 		for _, c := range d.TopicCounts {
 			if c > max {
 				max = c
 			}
 		}
-		share += float64(max) / float64(len(d.Words))
-	}
-	return Summary{
-		Records: p.Docs,
-		Metric:  share / float64(p.Docs),
-		Note:    "dominant_topic_share",
+		*share += float64(max) / float64(len(d.Words))
 	}
 }
