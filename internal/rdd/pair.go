@@ -277,7 +277,9 @@ func sortPartition[K comparable, V any](ctx *executor.TaskContext, in []Pair[K, 
 	}
 	sort.SliceStable(in, func(i, j int) bool { return less(in[i].Key, in[j].Key) })
 	ctx.CPU(float64(n) * float64(log2(n)) * ctx.Cost.CompareNS)
-	ctx.MemSeq(memsim.Read, SizeOfSlice(in))
+	bytes := SizeOfSlice(in)
+	ctx.MemSeq(memsim.Read, bytes)
+	ctx.MemSeq(memsim.Write, bytes)
 }
 
 func log2(n int) int {
