@@ -1,0 +1,151 @@
+// Package bench is the wall-clock harness for the host-performance
+// ledger. The simulator has two ledgers (see DESIGN.md): the virtual one
+// — charged bytes and virtual time, frozen and byte-identical across
+// refactors — and the host one — how fast the Go process computes the
+// virtual ledger. This package measures the host ledger: ns/op,
+// allocs/op and bytes/op for each Table II workload plus shuffle
+// micro-benchmarks, so every performance PR is judged against committed
+// numbers (BENCH_wallclock.json) instead of anecdotes.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/cluster"
+	"repro/internal/hibench"
+	"repro/internal/memsim"
+	"repro/internal/rdd"
+	"repro/internal/telemetry"
+	"repro/internal/workloads"
+)
+
+// Case is one wall-clock benchmark: Iter executes a single iteration of
+// the measured work. Cases run identically under `go test -bench` (see
+// bench_test.go) and the cmd/bench runner.
+type Case struct {
+	Name string
+	Iter func()
+}
+
+// Result is one measured case, averaged over the run's iterations.
+type Result struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// Cases enumerates the harness: every Table II workload at small size on
+// Tier 2 (the paper's DCPM tier), plus micro-benchmarks isolating the
+// shuffle aggregation paths (reduceByKey's combine pipeline and
+// groupByKey's ship-everything pipeline) where per-record overheads
+// dominate.
+func Cases() []Case {
+	var cases []Case
+	for _, w := range workloads.Names() {
+		w := w
+		cases = append(cases, Case{
+			Name: "workload/" + w,
+			Iter: func() {
+				if _, err := hibench.Run(hibench.RunSpec{
+					Workload: w, Size: workloads.Small, Tier: memsim.Tier2,
+				}); err != nil {
+					panic(fmt.Sprintf("bench %s: %v", w, err))
+				}
+			},
+		})
+	}
+	cases = append(cases,
+		Case{Name: "micro/reduceByKey", Iter: microReduceByKey},
+		Case{Name: "micro/groupByKey", Iter: microGroupByKey},
+	)
+	return cases
+}
+
+// microApp builds a minimal cluster app for the rdd-level micros.
+func microApp() *cluster.App {
+	conf := cluster.DefaultConf()
+	conf.CoresPerExecutor = 4
+	conf.DefaultParallelism = 8
+	return cluster.New(conf)
+}
+
+const (
+	microRecords = 200_000
+	microKeys    = 4096
+)
+
+// microWords is the reduceByKey input: dense string keys, generated once
+// so input construction stays out of the measurement.
+var microWords = func() []string {
+	out := make([]string, microRecords)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%05d", i%microKeys)
+	}
+	return out
+}()
+
+// microReduceByKey is the map-side-combining aggregation pipeline: the
+// path through bucketize, localCombine, putBuckets and mergeSegments
+// that dominates wordcount/bayes-shaped jobs.
+func microReduceByKey() {
+	app := microApp()
+	words := rdd.Parallelize(app, "bench-words", microWords, 0)
+	pairs := rdd.Map(words, func(s string) rdd.Pair[string, int64] { return rdd.KV(s, int64(1)) })
+	counts := rdd.ReduceByKey(pairs, func(a, b int64) int64 { return a + b }, 0)
+	if got := len(rdd.Collect(counts)); got != microKeys {
+		panic(fmt.Sprintf("bench reduceByKey: %d keys, want %d", got, microKeys))
+	}
+}
+
+// microSamples is the groupByKey input, generated once.
+var microSamples = func() []int {
+	out := make([]int, microRecords)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}()
+
+// microGroupByKey is the no-map-side-combine pipeline: every record
+// ships through bucketize/putBuckets and aggregates only on the reduce
+// side, the als/groupByKey-shaped shuffle.
+func microGroupByKey() {
+	app := microApp()
+	ids := rdd.Parallelize(app, "bench-ids", microSamples, 0)
+	pairs := rdd.Map(ids, func(i int) rdd.Pair[int, float64] {
+		return rdd.KV(i%microKeys, float64(i))
+	})
+	groups := rdd.GroupByKey(pairs, 0)
+	if got := len(rdd.Collect(groups)); got != microKeys {
+		panic(fmt.Sprintf("bench groupByKey: %d keys, want %d", got, microKeys))
+	}
+}
+
+// Measure runs a case for the given iteration count and reports per-op
+// wall-clock and allocation averages. One untimed warm-up iteration runs
+// first so one-time setup (registration, page faults, catalog builds)
+// stays out of the numbers.
+func Measure(c Case, iters int) Result {
+	if iters < 1 {
+		iters = 1
+	}
+	c.Iter()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	sw := telemetry.StartStopwatch()
+	for i := 0; i < iters; i++ {
+		c.Iter()
+	}
+	elapsed := sw.Seconds()
+	runtime.ReadMemStats(&after)
+	n := int64(iters)
+	return Result{
+		Name:        c.Name,
+		NsPerOp:     int64(elapsed*1e9) / n,
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / n,
+	}
+}

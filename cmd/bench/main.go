@@ -1,0 +1,261 @@
+// Command bench runs the wall-clock harness (package bench) and records
+// the host-performance ledger: ns/op, allocs/op and bytes/op per
+// workload and shuffle micro-benchmark.
+//
+// Results accumulate in a labelled JSON file so a perf PR commits both
+// sides of its claim:
+//
+//	bench -label before -iters 3 -out BENCH_wallclock.json
+//	... apply the optimization ...
+//	bench -label after  -iters 3 -out BENCH_wallclock.json -md results/wallclock.md
+//
+// The -md report renders before/after deltas once both labels exist.
+// CI runs the harness with -iters 1 and -max-reduce-allocs as an
+// allocation-regression tripwire on the reduceByKey micro-bench.
+//
+// Usage:
+//
+//	bench [-label after] [-iters 3] [-run substring]
+//	      [-out BENCH_wallclock.json] [-md results/wallclock.md]
+//	      [-max-reduce-allocs N] [-cpuprofile f] [-memprofile f]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+
+	"repro/bench"
+	"repro/internal/telemetry"
+)
+
+// run is one labelled harness execution.
+type run struct {
+	Iters   int            `json:"iters"`
+	Note    string         `json:"note,omitempty"`
+	Results []bench.Result `json:"results"`
+}
+
+// file is the on-disk BENCH_wallclock.json shape.
+type file struct {
+	Description string         `json:"description"`
+	Runs        map[string]run `json:"runs"`
+}
+
+func main() {
+	label := flag.String("label", "after", "run label stored in the JSON file (before/after)")
+	iters := flag.Int("iters", 3, "timed iterations per case (one extra warm-up always runs)")
+	filter := flag.String("run", "", "only run cases whose name contains this substring")
+	out := flag.String("out", "BENCH_wallclock.json", "accumulate results into this JSON file ('' = stdout only)")
+	md := flag.String("md", "", "write a before/after markdown report to this path")
+	note := flag.String("note", "", "free-form note stored with the run (e.g. commit subject)")
+	maxReduceAllocs := flag.Int64("max-reduce-allocs", 0,
+		"fail if micro/reduceByKey allocs/op exceeds this ceiling (0 = off)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var cases []bench.Case
+	for _, c := range bench.Cases() {
+		if *filter == "" || strings.Contains(c.Name, *filter) {
+			cases = append(cases, c)
+		}
+	}
+	if len(cases) == 0 {
+		fatal(fmt.Errorf("no cases match -run %q", *filter))
+	}
+
+	sw := telemetry.StartStopwatch()
+	results := make([]bench.Result, 0, len(cases))
+	for _, c := range cases {
+		fmt.Fprintf(os.Stderr, "%s bench %-24s", sw.Stamp(), c.Name)
+		r := bench.Measure(c, *iters)
+		results = append(results, r)
+		fmt.Fprintf(os.Stderr, " %12d ns/op %10d allocs/op %12d B/op\n",
+			r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	doc := load(*out)
+	doc.Runs[*label] = run{Iters: *iters, Note: *note, Results: results}
+
+	if *out != "" {
+		if err := writeJSON(*out, doc); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s wrote %s (%s run, %d cases)\n", sw.Stamp(), *out, *label, len(results))
+	} else {
+		if err := json.NewEncoder(os.Stdout).Encode(doc); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *md != "" {
+		if err := os.WriteFile(*md, []byte(renderMarkdown(doc)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s wrote %s\n", sw.Stamp(), *md)
+	}
+
+	if *maxReduceAllocs > 0 {
+		for _, r := range results {
+			if r.Name == "micro/reduceByKey" && r.AllocsPerOp > *maxReduceAllocs {
+				fatal(fmt.Errorf("micro/reduceByKey allocs/op %d exceeds ceiling %d: the boxing crept back",
+					r.AllocsPerOp, *maxReduceAllocs))
+			}
+		}
+	}
+}
+
+// load reads an existing results file, or starts a fresh one.
+func load(path string) file {
+	doc := file{
+		Description: "Host wall-clock ledger: ns/op, allocs/op, bytes/op per case (cmd/bench). " +
+			"Virtual results are unaffected by anything measured here; see DESIGN.md 'Two ledgers'.",
+		Runs: map[string]run{},
+	}
+	if path == "" {
+		return doc
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return doc
+	}
+	var existing file
+	if err := json.Unmarshal(raw, &existing); err != nil || existing.Runs == nil {
+		return doc
+	}
+	existing.Description = doc.Description
+	return existing
+}
+
+func writeJSON(path string, doc file) error {
+	var buf strings.Builder
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(buf.String()), 0o644)
+}
+
+// renderMarkdown writes the before/after comparison once both labels
+// exist; with a single run it renders that run's absolute numbers.
+func renderMarkdown(doc file) string {
+	var b strings.Builder
+	b.WriteString("# Wall-clock ledger: host time and allocations per case\n\n")
+	b.WriteString("Generated by `go run ./cmd/bench` from BENCH_wallclock.json.\n")
+	b.WriteString("These numbers are the *host* ledger only — the virtual ledger\n")
+	b.WriteString("(results/full_report.txt) is byte-identical across the runs below;\n")
+	b.WriteString("see DESIGN.md \"Two ledgers\".\n\n")
+
+	before, hasBefore := doc.Runs["before"]
+	after, hasAfter := doc.Runs["after"]
+	if hasBefore && hasAfter {
+		b.WriteString(fmt.Sprintf("Before: %s · after: %s.\n\n", runDesc(before), runDesc(after)))
+		b.WriteString("| case | ns/op before | ns/op after | Δ time | allocs/op before | allocs/op after | Δ allocs | MB/op before | MB/op after |\n")
+		b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+		beforeByName := map[string]bench.Result{}
+		for _, r := range before.Results {
+			beforeByName[r.Name] = r
+		}
+		for _, a := range after.Results {
+			pre, ok := beforeByName[a.Name]
+			if !ok {
+				continue
+			}
+			b.WriteString(fmt.Sprintf("| %s | %s | %s | %s | %s | %s | %s | %.1f | %.1f |\n",
+				a.Name,
+				group(pre.NsPerOp), group(a.NsPerOp), delta(pre.NsPerOp, a.NsPerOp),
+				group(pre.AllocsPerOp), group(a.AllocsPerOp), delta(pre.AllocsPerOp, a.AllocsPerOp),
+				float64(pre.BytesPerOp)/1e6, float64(a.BytesPerOp)/1e6))
+		}
+		return b.String()
+	}
+
+	labels := make([]string, 0, len(doc.Runs))
+	for l := range doc.Runs {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		r := doc.Runs[l]
+		b.WriteString(fmt.Sprintf("## %s (%s)\n\n", l, runDesc(r)))
+		b.WriteString("| case | ns/op | allocs/op | MB/op |\n|---|---:|---:|---:|\n")
+		for _, res := range r.Results {
+			b.WriteString(fmt.Sprintf("| %s | %s | %s | %.1f |\n",
+				res.Name, group(res.NsPerOp), group(res.AllocsPerOp), float64(res.BytesPerOp)/1e6))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func runDesc(r run) string {
+	if r.Note != "" {
+		return fmt.Sprintf("%d iters, %s", r.Iters, r.Note)
+	}
+	return fmt.Sprintf("%d iters", r.Iters)
+}
+
+// delta renders the relative change, negative meaning improvement.
+func delta(before, after int64) string {
+	if before == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*float64(after-before)/float64(before))
+}
+
+// group renders an integer with thousands separators for readability.
+func group(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	if len(s) <= 3 {
+		return s
+	}
+	var b strings.Builder
+	lead := len(s) % 3
+	if lead > 0 {
+		b.WriteString(s[:lead])
+	}
+	for i := lead; i < len(s); i += 3 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s[i : i+3])
+	}
+	return b.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

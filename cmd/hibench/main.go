@@ -6,6 +6,7 @@
 //
 //	hibench -workload pagerank -size large -tier 2 [-executors 4]
 //	        [-cores 10] [-cap 0.4] [-tasks 8] [-seed 1] [-json]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -13,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/hibench"
 	"repro/internal/memsim"
@@ -29,7 +32,22 @@ func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	tasks := flag.Int("tasks", 0, "phase-1 compute workers (0 = all cores, 1 = sequential; virtual time is identical)")
 	asJSON := flag.Bool("json", false, "emit the record as JSON")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile after the run to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var size workloads.Size
 	switch *sizeFlag {
@@ -57,6 +75,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	if *asJSON {
