@@ -75,7 +75,7 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{NoDeterminism, StagedCharge, LockSafety, ErrFlow}
+	return []*Analyzer{NoDeterminism, StagedCharge, LockSafety, ErrFlow, Hotbox}
 }
 
 // DirectiveName is the comment prefix of a suppression directive:

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hotbox guards the allocation-free data path: code reachable from a
+// task's compute path (any function or closure taking a
+// *executor.TaskContext) measures and routes millions of records, so a
+// call to the boxing measurement APIs — rdd.SizeOf, rdd.HashAny,
+// rdd.PartitionOf, each taking `any` — costs one heap allocation per
+// record. Hot paths must resolve a Sizer/Hasher once per RDD operation
+// (SizerFor, PairSizer, HasherFor, NewHashPartitioner) and call the
+// specialized value per record. The CI wall-clock harness (cmd/bench)
+// enforces the same invariant dynamically via its allocs/op ceiling;
+// this analyzer catches the regression before it runs.
+var Hotbox = &Analyzer{
+	Name: "hotbox",
+	Doc:  "forbid boxing SizeOf/HashAny/PartitionOf calls in task-compute call graphs",
+	Run:  runHotbox,
+}
+
+const rddPath = "repro/internal/rdd"
+
+// boxingAPI maps rdd package-level function name -> advice.
+var boxingAPI = map[string]string{
+	"SizeOf":      "resolve a Sizer once per operation (SizerFor/PairSizer) and call sizer.Of per record",
+	"HashAny":     "resolve a Hasher once per operation (HasherFor) or call the key's Hash64 directly",
+	"PartitionOf": "construct the partitioner with NewHashPartitioner so it routes through a resolved Hasher",
+}
+
+// hbNode is one function body (declaration or literal) in the call graph.
+type hbNode struct {
+	name    string
+	entry   bool // has a *executor.TaskContext parameter
+	exempt  bool // the measurement layer itself, or TaskContext methods
+	callees []*types.Func
+	// ifaceCalls are the names of interface methods this body invokes;
+	// taint bridges by name to every concrete method declaration, since
+	// the hot path reaches Partitioner/Sizer implementations through
+	// interfaces the static resolver cannot see through.
+	ifaceCalls []string
+	lits       []*hbNode
+	bad        []scBadCall
+	tainted    bool
+}
+
+func runHotbox(p *Pass) {
+	byFunc := make(map[*types.Func]*hbNode)
+	methodsByName := make(map[string][]*hbNode)
+	var all []*hbNode
+
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			if p.IsTestFile(f.Pos()) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				node := &hbNode{name: fd.Name.Name}
+				if obj != nil {
+					sig := obj.Type().(*types.Signature)
+					node.entry = hasTaskCtxParam(sig)
+					if sig.Recv() != nil {
+						if isNamedType(sig.Recv().Type(), executorPath, "TaskContext") {
+							node.exempt = true
+						}
+						methodsByName[fd.Name.Name] = append(methodsByName[fd.Name.Name], node)
+					}
+					// The boxing APIs themselves (and their compositions,
+					// like PartitionOf calling HashAny) are the measurement
+					// layer, not a hot-path consumer of it.
+					if funcPkgPath(obj) == rddPath && boxingAPI[obj.Name()] != "" {
+						node.exempt = true
+					}
+					byFunc[obj] = node
+				}
+				hbCollectBody(pkg, fd.Body, node, &all)
+				all = append(all, node)
+			}
+		}
+	}
+
+	// Taint everything reachable from an entry, bridging interface-method
+	// calls to same-named concrete methods.
+	var work []*hbNode
+	for _, n := range all {
+		if n.entry && !n.exempt {
+			work = append(work, n)
+		}
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		if n.tainted || n.exempt {
+			continue
+		}
+		n.tainted = true
+		for _, callee := range n.callees {
+			if cn, ok := byFunc[callee]; ok && !cn.tainted && !cn.exempt {
+				work = append(work, cn)
+			}
+		}
+		for _, name := range n.ifaceCalls {
+			for _, m := range methodsByName[name] {
+				if !m.tainted && !m.exempt {
+					work = append(work, m)
+				}
+			}
+		}
+		for _, lit := range n.lits {
+			if !lit.tainted {
+				work = append(work, lit)
+			}
+		}
+	}
+
+	for _, n := range all {
+		if !n.tainted {
+			continue
+		}
+		for _, b := range n.bad {
+			p.Reportf(b.pos, "%s", b.msg)
+		}
+	}
+}
+
+// hbCollectBody records the node's static callees, interface-method call
+// names and boxing-API calls, stopping at nested function literals (which
+// become child nodes).
+func hbCollectBody(pkg *Package, body ast.Node, node *hbNode, all *[]*hbNode) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			child := &hbNode{name: node.name + ".func"}
+			if sig, ok := pkg.Info.Types[x].Type.(*types.Signature); ok {
+				child.entry = hasTaskCtxParam(sig)
+			}
+			hbCollectBody(pkg, x.Body, child, all)
+			node.lits = append(node.lits, child)
+			*all = append(*all, child)
+			return false
+		case *ast.CallExpr:
+			fn := calleeFunc(pkg.Info, x)
+			if fn == nil {
+				return true
+			}
+			// Normalize instantiated generics to their origin so callee
+			// lookups match the declaration objects.
+			fn = fn.Origin()
+			sig, _ := fn.Type().(*types.Signature)
+			if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+				node.ifaceCalls = append(node.ifaceCalls, fn.Name())
+				return true
+			}
+			node.callees = append(node.callees, fn)
+			if funcPkgPath(fn) == rddPath && recvTypeName(fn) == "" {
+				if advice, ok := boxingAPI[fn.Name()]; ok {
+					node.bad = append(node.bad, scBadCall{
+						pos: x.Pos(),
+						msg: "boxing " + fn.Name() + " in task-compute code (one allocation per record): " + advice,
+					})
+				}
+			}
+		}
+		return true
+	})
+}

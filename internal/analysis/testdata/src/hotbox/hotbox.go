@@ -1,0 +1,68 @@
+// Package hotbox is simlint test input: boxing measurement calls on
+// task-compute paths. Line positions are pinned by hotbox.golden.
+package hotbox
+
+import (
+	"repro/internal/executor"
+	"repro/internal/rdd"
+)
+
+// badMeasure takes a TaskContext, so it is task-compute code; the
+// per-record SizeOf boxes every element.
+func badMeasure(ctx *executor.TaskContext, recs []rdd.Pair[string, int64]) int64 {
+	_ = ctx
+	var total int64
+	for _, r := range recs {
+		total += rdd.SizeOf(any(r))
+	}
+	return total
+}
+
+// badRoute boxes every key on its way to a partition.
+func badRoute(ctx *executor.TaskContext, keys []string) int {
+	_ = ctx
+	n := 0
+	for _, k := range keys {
+		n += rdd.PartitionOf(k, 8)
+	}
+	return n
+}
+
+// badHash is reachable from taskEntry, so its boxing hash is also
+// task-compute code.
+func badHash(k string) uint64 { return rdd.HashAny(k) }
+
+func taskEntry(ctx *executor.TaskContext) uint64 {
+	_ = ctx
+	return badHash("x")
+}
+
+// measurer reaches a concrete implementation through an interface; taint
+// must bridge the call anyway.
+type measurer interface{ measure(v string) int64 }
+
+type boxingMeasurer struct{}
+
+func (boxingMeasurer) measure(v string) int64 { return rdd.SizeOf(any(v)) }
+
+func viaInterface(ctx *executor.TaskContext, m measurer) int64 {
+	_ = ctx
+	return m.measure("y")
+}
+
+// driverSize is never reached from a TaskContext function; driver code
+// may box freely (it runs once, not per record).
+func driverSize(v any) int64 { return rdd.SizeOf(v) }
+
+// goodMeasure stays on the specialized path and is clean.
+func goodMeasure(ctx *executor.TaskContext, recs []rdd.Pair[string, int64]) int64 {
+	_ = ctx
+	return rdd.SizeOfSlice(recs)
+}
+
+// allowedFallback documents a deliberate exception with a directive.
+func allowedFallback(ctx *executor.TaskContext, k string) uint64 {
+	_ = ctx
+	//simlint:allow hotbox fixture: demonstrates a suppressed boxing call
+	return rdd.HashAny(k)
+}

@@ -65,6 +65,16 @@ func HashAny(k any) uint64 {
 	}
 }
 
+// HashString hashes a string key exactly like HashAny's string case,
+// without the interface conversion. Hash64 implementations built on
+// string fields should call this so the shuffle write path stays
+// allocation-free.
+func HashString(s string) uint64 { return fnv1a(s) }
+
+// HashInt64 hashes an integer key exactly like HashAny's int64 case,
+// without the interface conversion.
+func HashInt64(x int64) uint64 { return mix64(uint64(x)) }
+
 // PartitionOf maps a key to one of n partitions.
 func PartitionOf(k any, n int) int {
 	if n <= 0 {

@@ -1,0 +1,80 @@
+package rdd
+
+import "sync"
+
+// Hasher hashes keys of one concrete type without boxing them into an
+// interface, the partitioning analogue of Sizer: HashAny's `any` parameter
+// costs one heap allocation per record on the shuffle write path, so the
+// hash partitioner resolves a specialized hasher once per operation
+// instead. A hasher must agree exactly with HashAny for its type —
+// partition assignment feeds the virtual ledger, and the parity tests pin
+// every hasher against HashAny.
+type Hasher[K comparable] func(K) uint64
+
+// builtinHashers mirrors HashAny's scalar cases one Hasher[X] per case.
+var builtinHashers = []any{
+	Hasher[string](fnv1a),
+	Hasher[int](func(x int) uint64 { return mix64(uint64(x)) }),
+	Hasher[int64](func(x int64) uint64 { return mix64(uint64(x)) }),
+	Hasher[int32](func(x int32) uint64 { return mix64(uint64(x)) }),
+	Hasher[uint64](mix64),
+	Hasher[uint32](func(x uint32) uint64 { return mix64(uint64(x)) }),
+	Hasher[bool](func(x bool) uint64 {
+		if x {
+			return mix64(1)
+		}
+		return mix64(0)
+	}),
+}
+
+// hasherMu guards hasherReg; registration happens from package init
+// functions, resolution once per RDD operation.
+var hasherMu sync.RWMutex
+var hasherReg []any // each element is a Hasher[X] for some concrete X
+
+// RegisterHasher publishes a specialized hasher for a key type, normally
+// from a package init function. It must agree exactly with HashAny for
+// every value. Builtin scalar hashers cannot be overridden.
+func RegisterHasher[K comparable](h Hasher[K]) {
+	hasherMu.Lock()
+	defer hasherMu.Unlock()
+	for i, r := range hasherReg {
+		if _, ok := r.(Hasher[K]); ok {
+			hasherReg[i] = h
+			return
+		}
+	}
+	hasherReg = append(hasherReg, h)
+}
+
+// RegisterHashable publishes the Hash64-calling hasher for a Hashable key
+// type, dispatching through the type parameter so the receiver is never
+// boxed. Agreement with HashAny is by construction: HashAny's first case
+// defers to Hashable.Hash64.
+func RegisterHashable[K interface {
+	comparable
+	Hashable
+}]() {
+	RegisterHasher[K](func(k K) uint64 { return k.Hash64() })
+}
+
+// HasherFor resolves the specialized hasher for K: builtins first, then
+// registered key types, then a fallback deferring to HashAny — correct
+// for any supported key type (and panicking on unsupported ones, exactly
+// like HashAny), but paying the per-record boxing the specialized paths
+// avoid.
+func HasherFor[K comparable]() Hasher[K] {
+	for _, b := range builtinHashers {
+		if h, ok := b.(Hasher[K]); ok {
+			return h
+		}
+	}
+	hasherMu.RLock()
+	defer hasherMu.RUnlock()
+	for _, r := range hasherReg {
+		if h, ok := r.(Hasher[K]); ok {
+			return h
+		}
+	}
+	return func(k K) uint64 { return HashAny(any(k)) }
+}

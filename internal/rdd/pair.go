@@ -68,58 +68,102 @@ func Values[K comparable, V any](r *RDD[Pair[K, V]]) *RDD[V] {
 // scattered. This is what keeps pure-shuffle workloads (sort, repartition)
 // far less latency-sensitive than hash-aggregating ones — the paper's
 // per-application sensitivity split.
-func bucketize[K comparable, V any](ctx *executor.TaskContext, recs []Pair[K, V], p Partitioner[K]) [][]Pair[K, V] {
-	buckets := make([][]Pair[K, V], p.NumPartitions())
+// It also returns per-bucket record bytes so putBuckets charges segments
+// without re-walking them. The sizer is resolved once by the caller; a
+// first-pass key histogram lets every bucket allocate exactly once at its
+// final capacity instead of growing by repeated append.
+func bucketize[K comparable, V any](ctx *executor.TaskContext, recs []Pair[K, V],
+	p Partitioner[K], ps Sizer[Pair[K, V]]) ([][]Pair[K, V], []int64) {
+	nparts := p.NumPartitions()
+	targets := make([]int32, len(recs))
+	counts := make([]int, nparts)
+	for i := range recs {
+		b := p.PartitionFor(recs[i].Key)
+		targets[i] = int32(b)
+		counts[b]++
+	}
+	buckets := make([][]Pair[K, V], nparts)
+	for b, c := range counts {
+		if c > 0 {
+			buckets[b] = make([]Pair[K, V], 0, c)
+		}
+	}
+	bucketBytes := make([]int64, nparts)
 	var bytes int64
-	for _, rec := range recs {
-		b := p.PartitionFor(rec.Key)
-		buckets[b] = append(buckets[b], rec)
-		bytes += rec.ByteSize()
+	for i := range recs {
+		b := targets[i]
+		buckets[b] = append(buckets[b], recs[i])
+		sz := ps.Of(recs[i])
+		bucketBytes[b] += sz
+		bytes += sz
 	}
 	ctx.CPUPerRecord(len(recs), ctx.Cost.HashNS)
 	ctx.ShuffleSeq(memsim.Write, bytes)
 	used := 0
-	for _, b := range buckets {
-		if len(b) > 0 {
+	for _, c := range counts {
+		if c > 0 {
 			used++
 		}
 	}
 	ctx.ShuffleRand(memsim.Write, used, int64(used)*64)
-	return buckets
+	return buckets, bucketBytes
 }
 
-// putBuckets serializes and registers the buckets as shuffle segments.
-func putBuckets[K comparable, V any](ctx *executor.TaskContext, shuffleID, mapPart int, buckets [][]Pair[K, V]) {
+// putBuckets serializes and registers the buckets as shuffle segments,
+// charging each segment from the bytes bucketize already accumulated
+// (the 24-byte slice header completes the SizeOfSlice equivalence).
+func putBuckets[K comparable, V any](ctx *executor.TaskContext, shuffleID, mapPart int,
+	buckets [][]Pair[K, V], bucketBytes []int64) {
 	for reduce, b := range buckets {
 		if len(b) == 0 {
 			continue
 		}
-		bytes := SizeOfSlice(b)
+		bytes := 24 + bucketBytes[reduce]
 		ctx.CPU(float64(bytes) * ctx.Cost.SerDePerB)
 		ctx.PutShuffleSegment(shuffleID, mapPart, reduce, b, len(b), bytes)
 	}
 }
 
+// aggOutputBytes is the single-pass replacement for SizeOfSlice over an
+// aggregation's output: the slice header plus the key bytes accumulated
+// at insert time plus the combiner values — constant-folded when the
+// combiner type is fixed-size, a single non-boxing value sweep
+// otherwise. Must equal SizeOfSlice(out) exactly; the charged-bytes
+// parity tests pin this.
+func aggOutputBytes[K comparable, C any](out []Pair[K, C], keyBytes int64, cs Sizer[C]) int64 {
+	bytes := int64(24) + keyBytes
+	if f, ok := cs.Fixed(); ok {
+		bytes += int64(len(out)) * f
+	} else {
+		for i := range out {
+			bytes += cs.Of(out[i].Val)
+		}
+	}
+	return bytes
+}
+
 // localCombine aggregates a record batch in an insertion-ordered hash map,
 // charging hash-table traffic (random probes and inserts).
 func localCombine[K comparable, V, C any](ctx *executor.TaskContext, recs []Pair[K, V],
-	create func(V) C, merge func(C, V) C) []Pair[K, C] {
+	create func(V) C, merge func(C, V) C,
+	ps Sizer[Pair[K, V]], ks Sizer[K], cs Sizer[C]) []Pair[K, C] {
 	index := make(map[K]int, len(recs))
 	out := make([]Pair[K, C], 0, len(recs)/2+1)
-	var probeBytes int64
+	var probeBytes, keyBytes int64
 	for _, rec := range recs {
-		probeBytes += rec.ByteSize()
+		probeBytes += ps.Of(rec)
 		if i, ok := index[rec.Key]; ok {
 			out[i].Val = merge(out[i].Val, rec.Val)
 		} else {
 			index[rec.Key] = len(out)
+			keyBytes += ks.Of(rec.Key)
 			out = append(out, KV(rec.Key, create(rec.Val)))
 		}
 	}
 	ctx.CPUPerRecord(len(recs), ctx.Cost.HashNS+ctx.Cost.ReduceNS)
 	ctx.MemRand(memsim.Read, len(recs), probeBytes)
 	if len(out) > 0 {
-		ctx.MemRand(memsim.Write, len(out), SizeOfSlice(out))
+		ctx.MemRand(memsim.Write, len(out), aggOutputBytes(out, keyBytes, cs))
 	}
 	return out
 }
@@ -135,7 +179,12 @@ func CombineByKey[K comparable, V, C any](r *RDD[Pair[K, V]],
 	if parts <= 0 {
 		parts = d.DefaultParallelism()
 	}
-	part := HashPartitioner[K]{Parts: parts}
+	// Resolve the partitioner's hasher and the record sizers once for the
+	// whole operation; per-record work in the closures below never boxes.
+	part := NewHashPartitioner[K](parts)
+	ks, vs, cs := SizerFor[K](), SizerFor[V](), SizerFor[C]()
+	ps := PairSizer(ks, vs)
+	pcs := PairSizer(ks, cs)
 	shuffleID := d.NextShuffleID()
 
 	dep := &ShuffleDep{
@@ -145,29 +194,32 @@ func CombineByKey[K comparable, V, C any](r *RDD[Pair[K, V]],
 		WriteMap: func(ctx *executor.TaskContext, mapPart int) {
 			recs := r.Compute(ctx, mapPart)
 			if mapSideCombine {
-				combined := localCombine(ctx, recs, create, mergeValue)
-				putBuckets(ctx, shuffleID, mapPart, bucketize(ctx, combined, part))
+				combined := localCombine(ctx, recs, create, mergeValue, ps, ks, cs)
+				buckets, bucketBytes := bucketize(ctx, combined, part, pcs)
+				putBuckets(ctx, shuffleID, mapPart, buckets, bucketBytes)
 			} else {
-				putBuckets(ctx, shuffleID, mapPart, bucketize(ctx, recs, part))
+				buckets, bucketBytes := bucketize(ctx, recs, part, ps)
+				putBuckets(ctx, shuffleID, mapPart, buckets, bucketBytes)
 			}
 		},
 	}
 	return newRDD(d, "combineByKey", parts, []Dep{dep}, func(ctx *executor.TaskContext, reduce int) []Pair[K, C] {
 		if mapSideCombine {
 			return mergeSegments[K, C, C](ctx, shuffleID, reduce,
-				func(c C) C { return c }, mergeCombiners)
+				func(c C) C { return c }, mergeCombiners, pcs, ks, cs)
 		}
-		return mergeSegments[K, V, C](ctx, shuffleID, reduce, create, mergeValue)
+		return mergeSegments[K, V, C](ctx, shuffleID, reduce, create, mergeValue, ps, ks, cs)
 	})
 }
 
 // mergeSegments drains one reduce partition's segments into an
 // insertion-ordered aggregation map.
 func mergeSegments[K comparable, V, C any](ctx *executor.TaskContext, shuffleID, reduce int,
-	create func(V) C, merge func(C, V) C) []Pair[K, C] {
+	create func(V) C, merge func(C, V) C,
+	ps Sizer[Pair[K, V]], ks Sizer[K], cs Sizer[C]) []Pair[K, C] {
 	index := make(map[K]int)
 	var out []Pair[K, C]
-	var probeBytes int64
+	var probeBytes, keyBytes int64
 	var n int
 	for _, seg := range ctx.FetchShuffleInputs(shuffleID, reduce) {
 		if seg == nil {
@@ -176,11 +228,12 @@ func mergeSegments[K comparable, V, C any](ctx *executor.TaskContext, shuffleID,
 		ctx.ReadShuffleSegment(seg)
 		recs := seg.Records.([]Pair[K, V])
 		for _, rec := range recs {
-			probeBytes += rec.ByteSize()
+			probeBytes += ps.Of(rec)
 			if i, ok := index[rec.Key]; ok {
 				out[i].Val = merge(out[i].Val, rec.Val)
 			} else {
 				index[rec.Key] = len(out)
+				keyBytes += ks.Of(rec.Key)
 				out = append(out, KV(rec.Key, create(rec.Val)))
 			}
 		}
@@ -189,7 +242,7 @@ func mergeSegments[K comparable, V, C any](ctx *executor.TaskContext, shuffleID,
 	ctx.CPUPerRecord(n, ctx.Cost.HashNS+ctx.Cost.ReduceNS)
 	ctx.MemRand(memsim.Read, n, probeBytes)
 	if len(out) > 0 {
-		ctx.MemRand(memsim.Write, len(out), SizeOfSlice(out))
+		ctx.MemRand(memsim.Write, len(out), aggOutputBytes(out, keyBytes, cs))
 	}
 	return out
 }
@@ -221,13 +274,15 @@ func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]], parts int) *RDD[Pair[K,
 // aggregation; within a partition records arrive in map-partition order.
 func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], p Partitioner[K]) *RDD[Pair[K, V]] {
 	d := r.base.driver
+	ps := PairSizer(SizerFor[K](), SizerFor[V]())
 	shuffleID := d.NextShuffleID()
 	dep := &ShuffleDep{
 		P:         r.base,
 		ShuffleID: shuffleID,
 		NumReduce: p.NumPartitions(),
 		WriteMap: func(ctx *executor.TaskContext, mapPart int) {
-			putBuckets(ctx, shuffleID, mapPart, bucketize(ctx, r.Compute(ctx, mapPart), p))
+			buckets, bucketBytes := bucketize(ctx, r.Compute(ctx, mapPart), p, ps)
+			putBuckets(ctx, shuffleID, mapPart, buckets, bucketBytes)
 		},
 	}
 	return newRDD(d, "partitionBy", p.NumPartitions(), []Dep{dep},
@@ -258,8 +313,9 @@ func SortByKey[K comparable, V any](r *RDD[Pair[K, V]], less func(a, b K) bool, 
 	rp := NewRangePartitioner(keys, parts, less)
 
 	shuffled := PartitionBy(r, rp)
+	ps := PairSizer(SizerFor[K](), SizerFor[V]())
 	return MapPartitions(shuffled, func(ctx *executor.TaskContext, part int, in []Pair[K, V]) []Pair[K, V] {
-		sortPartition(ctx, in, less)
+		sortPartition(ctx, in, less, ps)
 		return in
 	})
 }
@@ -270,14 +326,15 @@ func SortByKey[K comparable, V any](r *RDD[Pair[K, V]], less func(a, b K) bool, 
 // the initial load and final store reach memory. This is exactly why the
 // paper's sort benchmark is among the least tier-sensitive applications —
 // it streams, it doesn't chase pointers.
-func sortPartition[K comparable, V any](ctx *executor.TaskContext, in []Pair[K, V], less func(a, b K) bool) {
+func sortPartition[K comparable, V any](ctx *executor.TaskContext, in []Pair[K, V],
+	less func(a, b K) bool, ps Sizer[Pair[K, V]]) {
 	n := len(in)
 	if n == 0 {
 		return
 	}
 	sort.SliceStable(in, func(i, j int) bool { return less(in[i].Key, in[j].Key) })
 	ctx.CPU(float64(n) * float64(log2(n)) * ctx.Cost.CompareNS)
-	bytes := SizeOfSlice(in)
+	bytes := SizeSlice(in, ps)
 	ctx.MemSeq(memsim.Read, bytes)
 	ctx.MemSeq(memsim.Write, bytes)
 }
@@ -301,31 +358,42 @@ func CoGroup[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], par
 	if parts <= 0 {
 		parts = d.DefaultParallelism()
 	}
-	p := HashPartitioner[K]{Parts: parts}
+	p := NewHashPartitioner[K](parts)
+	ks, vs, ws := SizerFor[K](), SizerFor[V](), SizerFor[W]()
+	pvs := PairSizer(ks, vs)
+	pws := PairSizer(ks, ws)
 	leftID := d.NextShuffleID()
 	rightID := d.NextShuffleID()
 
 	depL := &ShuffleDep{
 		P: a.base, ShuffleID: leftID, NumReduce: parts,
 		WriteMap: func(ctx *executor.TaskContext, mapPart int) {
-			putBuckets(ctx, leftID, mapPart, bucketize(ctx, a.Compute(ctx, mapPart), p))
+			buckets, bucketBytes := bucketize(ctx, a.Compute(ctx, mapPart), p, pvs)
+			putBuckets(ctx, leftID, mapPart, buckets, bucketBytes)
 		},
 	}
 	depR := &ShuffleDep{
 		P: b.base, ShuffleID: rightID, NumReduce: parts,
 		WriteMap: func(ctx *executor.TaskContext, mapPart int) {
-			putBuckets(ctx, rightID, mapPart, bucketize(ctx, b.Compute(ctx, mapPart), p))
+			buckets, bucketBytes := bucketize(ctx, b.Compute(ctx, mapPart), p, pws)
+			putBuckets(ctx, rightID, mapPart, buckets, bucketBytes)
 		},
 	}
 	return newRDD(d, "cogroup", parts, []Dep{depL, depR},
 		func(ctx *executor.TaskContext, reduce int) []Pair[K, CoGrouped[V, W]] {
 			index := make(map[K]int)
 			var out []Pair[K, CoGrouped[V, W]]
+			// keyBytes and cellBytes accumulate the output footprint as it
+			// grows (48 bytes per cogroup cell plus each appended element),
+			// replacing the old full SizeOfSlice re-walk of out.
+			var keyBytes, cellBytes int64
 			slot := func(k K) int {
 				if i, ok := index[k]; ok {
 					return i
 				}
 				index[k] = len(out)
+				keyBytes += ks.Of(k)
+				cellBytes += 48
 				out = append(out, KV(k, CoGrouped[V, W]{}))
 				return len(out) - 1
 			}
@@ -339,7 +407,8 @@ func CoGroup[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], par
 				for _, rec := range seg.Records.([]Pair[K, V]) {
 					i := slot(rec.Key)
 					out[i].Val.Left = append(out[i].Val.Left, rec.Val)
-					probeBytes += rec.ByteSize()
+					cellBytes += vs.Of(rec.Val)
+					probeBytes += pvs.Of(rec)
 					n++
 				}
 			}
@@ -351,14 +420,15 @@ func CoGroup[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], par
 				for _, rec := range seg.Records.([]Pair[K, W]) {
 					i := slot(rec.Key)
 					out[i].Val.Right = append(out[i].Val.Right, rec.Val)
-					probeBytes += rec.ByteSize()
+					cellBytes += ws.Of(rec.Val)
+					probeBytes += pws.Of(rec)
 					n++
 				}
 			}
 			ctx.CPUPerRecord(n, ctx.Cost.HashNS+ctx.Cost.ReduceNS)
 			ctx.MemRand(memsim.Read, n, probeBytes)
 			if len(out) > 0 {
-				ctx.MemRand(memsim.Write, len(out), SizeOfSlice(out))
+				ctx.MemRand(memsim.Write, len(out), 24+keyBytes+cellBytes)
 			}
 			return out
 		})
@@ -403,6 +473,6 @@ func Repartition[T any](r *RDD[T], parts int) *RDD[T] {
 		}
 		return out
 	})
-	shuffled := PartitionBy(keyed, HashPartitioner[int]{Parts: parts})
+	shuffled := PartitionBy(keyed, NewHashPartitioner[int](parts))
 	return Values(shuffled)
 }

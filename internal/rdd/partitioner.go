@@ -8,16 +8,33 @@ type Partitioner[K comparable] interface {
 	PartitionFor(k K) int
 }
 
-// HashPartitioner spreads keys by hash, Spark's default.
+// HashPartitioner spreads keys by hash, Spark's default. Construct with
+// NewHashPartitioner on hot paths: it resolves the key type's specialized
+// hasher once, so per-record partitioning never boxes the key. A
+// zero-hasher literal (HashPartitioner[K]{Parts: n}) still works and falls
+// back to the boxing PartitionOf with identical assignments.
 type HashPartitioner[K comparable] struct {
 	Parts int
+	hash  Hasher[K]
+}
+
+// NewHashPartitioner builds a hash partitioner with the key type's
+// specialized hasher resolved up front.
+func NewHashPartitioner[K comparable](parts int) HashPartitioner[K] {
+	return HashPartitioner[K]{Parts: parts, hash: HasherFor[K]()}
 }
 
 // NumPartitions returns the partition count.
 func (p HashPartitioner[K]) NumPartitions() int { return p.Parts }
 
 // PartitionFor hashes the key modulo the partition count.
-func (p HashPartitioner[K]) PartitionFor(k K) int { return PartitionOf(any(k), p.Parts) }
+func (p HashPartitioner[K]) PartitionFor(k K) int {
+	if p.hash != nil {
+		return int(p.hash(k) % uint64(p.Parts))
+	}
+	//simlint:allow hotbox zero-literal fallback: construction sites that care use NewHashPartitioner
+	return PartitionOf(any(k), p.Parts)
+}
 
 // RangePartitioner assigns keys to ordered ranges, used by sortByKey so
 // that concatenating sorted partitions yields a totally sorted dataset.

@@ -41,13 +41,12 @@ func SizeOf(v any) int64 {
 	}
 }
 
-// SizeOfSlice sums SizeOf over a slice plus the slice header.
+// SizeOfSlice sums SizeOf over a slice plus the slice header. The sizer
+// resolved once for the element type replaces per-element SizeOf boxing;
+// for registered and builtin types the walk (or, for fixed-size types,
+// the constant fold) allocates nothing.
 func SizeOfSlice[T any](s []T) int64 {
-	total := int64(24)
-	for i := range s {
-		total += SizeOf(any(s[i]))
-	}
-	return total
+	return SizeSlice(s, SizerFor[T]())
 }
 
 // Pair is a key-value record, the currency of shuffle operations.

@@ -1,0 +1,166 @@
+package rdd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// sizerParity checks one value: the specialized sizer must agree exactly
+// with the boxing SizeOf it replaces — the virtual ledger depends on it.
+func sizerParity[T any](t *testing.T, v T) {
+	t.Helper()
+	s := SizerFor[T]()
+	if got, want := s.Of(v), SizeOf(any(v)); got != want {
+		t.Errorf("SizerFor[%T].Of(%v) = %d, want SizeOf %d", v, v, got, want)
+	}
+}
+
+func TestBuiltinSizersMatchSizeOf(t *testing.T) {
+	checks := []error{
+		quick.Check(func(v string) bool { return SizerFor[string]().Of(v) == SizeOf(any(v)) }, nil),
+		quick.Check(func(v []byte) bool { return SizerFor[[]byte]().Of(v) == SizeOf(any(v)) }, nil),
+		quick.Check(func(v int) bool { return SizerFor[int]().Of(v) == SizeOf(any(v)) }, nil),
+		quick.Check(func(v int64) bool { return SizerFor[int64]().Of(v) == SizeOf(any(v)) }, nil),
+		quick.Check(func(v uint64) bool { return SizerFor[uint64]().Of(v) == SizeOf(any(v)) }, nil),
+		quick.Check(func(v float64) bool { return SizerFor[float64]().Of(v) == SizeOf(any(v)) }, nil),
+		quick.Check(func(v int32) bool { return SizerFor[int32]().Of(v) == SizeOf(any(v)) }, nil),
+		quick.Check(func(v uint32) bool { return SizerFor[uint32]().Of(v) == SizeOf(any(v)) }, nil),
+		quick.Check(func(v float32) bool { return SizerFor[float32]().Of(v) == SizeOf(any(v)) }, nil),
+		quick.Check(func(v bool) bool { return SizerFor[bool]().Of(v) == SizeOf(any(v)) }, nil),
+		quick.Check(func(v int8) bool { return SizerFor[int8]().Of(v) == SizeOf(any(v)) }, nil),
+		quick.Check(func(v uint8) bool { return SizerFor[uint8]().Of(v) == SizeOf(any(v)) }, nil),
+		quick.Check(func(v []int) bool { return SizerFor[[]int]().Of(v) == SizeOf(any(v)) }, nil),
+		quick.Check(func(v []int64) bool { return SizerFor[[]int64]().Of(v) == SizeOf(any(v)) }, nil),
+		quick.Check(func(v []float64) bool { return SizerFor[[]float64]().Of(v) == SizeOf(any(v)) }, nil),
+		quick.Check(func(v []string) bool { return SizerFor[[]string]().Of(v) == SizeOf(any(v)) }, nil),
+	}
+	for _, err := range checks {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// unregisteredRec exercises SizerFor's fallback: no builtin, no
+// registration, no Sized — SizeOf's 32-byte default estimate.
+type unregisteredRec struct{ A, B, C int }
+
+func TestSizerForFallbackMatchesSizeOf(t *testing.T) {
+	sizerParity(t, unregisteredRec{1, 2, 3})
+	sizerParity(t, map[int]int{1: 2}) // another default-case type
+	sizerParity(t, []unregisteredRec{{}, {}})
+}
+
+func TestSizeSliceMatchesBoxedWalk(t *testing.T) {
+	if err := quick.Check(func(s []string) bool {
+		want := int64(24)
+		for _, v := range s {
+			want += SizeOf(any(v))
+		}
+		return SizeSlice(s, SizerFor[string]()) == want
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	// Fixed-size fold path.
+	if err := quick.Check(func(s []int64) bool {
+		return SizeSlice(s, SizerFor[int64]()) == int64(24+8*len(s))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairSizerMatchesByteSize(t *testing.T) {
+	if err := quick.Check(func(k string, v int64) bool {
+		p := KV(k, v)
+		ps := PairSizer(SizerFor[string](), SizerFor[int64]())
+		return ps.Of(p) == p.ByteSize()
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	// Fixed×fixed composes to a fixed pair sizer.
+	ps := PairSizer(SizerFor[int](), SizerFor[float64]())
+	if f, ok := ps.Fixed(); !ok || f != 16 {
+		t.Fatalf("PairSizer[int,float64].Fixed() = (%d, %v), want (16, true)", f, ok)
+	}
+}
+
+// TestAggOutputBytesMatchesSizeOfSlice pins the single-pass aggregation
+// accounting against the old double-walk: for any aggregation output,
+// 24 + Σkey + Σval accumulated incrementally must equal SizeOfSlice(out).
+func TestAggOutputBytesMatchesSizeOfSlice(t *testing.T) {
+	if err := quick.Check(func(keys []string, vals []int64) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		ks, cs := SizerFor[string](), SizerFor[int64]()
+		out := make([]Pair[string, int64], 0, n)
+		var keyBytes int64
+		for i := 0; i < n; i++ {
+			keyBytes += ks.Of(keys[i])
+			out = append(out, KV(keys[i], vals[i]))
+		}
+		return aggOutputBytes(out, keyBytes, cs) == SizeOfSlice(out)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	// Variable-size combiner path (no Fixed fold).
+	if err := quick.Check(func(keys []int, vals [][]int64) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		ks, cs := SizerFor[int](), SizerFor[[]int64]()
+		out := make([]Pair[int, []int64], 0, n)
+		var keyBytes int64
+		for i := 0; i < n; i++ {
+			keyBytes += ks.Of(keys[i])
+			out = append(out, KV(keys[i], vals[i]))
+		}
+		return aggOutputBytes(out, keyBytes, cs) == SizeOfSlice(out)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuiltinHashersMatchHashAny(t *testing.T) {
+	checks := []error{
+		quick.Check(func(k string) bool { return HasherFor[string]()(k) == HashAny(any(k)) }, nil),
+		quick.Check(func(k int) bool { return HasherFor[int]()(k) == HashAny(any(k)) }, nil),
+		quick.Check(func(k int64) bool { return HasherFor[int64]()(k) == HashAny(any(k)) }, nil),
+		quick.Check(func(k int32) bool { return HasherFor[int32]()(k) == HashAny(any(k)) }, nil),
+		quick.Check(func(k uint64) bool { return HasherFor[uint64]()(k) == HashAny(any(k)) }, nil),
+		quick.Check(func(k uint32) bool { return HasherFor[uint32]()(k) == HashAny(any(k)) }, nil),
+		quick.Check(func(k bool) bool { return HasherFor[bool]()(k) == HashAny(any(k)) }, nil),
+	}
+	for _, err := range checks {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestHashPartitionerMatchesPartitionOf pins the specialized partitioner
+// against the boxing PartitionOf for both construction paths: the
+// NewHashPartitioner hot path (resolved hasher) and the zero-literal
+// fallback.
+func TestHashPartitionerMatchesPartitionOf(t *testing.T) {
+	fast := NewHashPartitioner[string](7)
+	slow := HashPartitioner[string]{Parts: 7}
+	if err := quick.Check(func(k string) bool {
+		want := PartitionOf(k, 7)
+		return fast.PartitionFor(k) == want && slow.PartitionFor(k) == want
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRegisteredSizerOverrides checks registration replaces the fallback
+// and that re-registration replaces the previous entry.
+func TestRegisteredSizerOverrides(t *testing.T) {
+	type regRec struct{ N int }
+	RegisterSizer(FixedSizer[regRec](32)) // matches SizeOf's default case
+	sizerParity(t, regRec{41})
+	RegisterSizer(FuncSizer(func(regRec) int64 { return 32 }))
+	sizerParity(t, regRec{42})
+}

@@ -54,29 +54,47 @@ type Segment struct {
 	ExecID int
 }
 
-type key struct {
+// loc addresses one segment across shuffles, the currency of the
+// per-executor index.
+type loc struct {
 	shuffle int
 	mapPart int
 	reduce  int
 }
 
-// Store is the application-wide registry of shuffle outputs.
-type Store struct {
-	segs     map[key]*Segment
-	mapParts map[int]int // shuffleID -> number of map partitions
+// shuffleState is one shuffle's outputs. Segments live in per-reduce rows
+// indexed by map partition, so a reduce task's fetch is one map lookup
+// plus a slice copy instead of numMapParts three-int-key hashes, and
+// dropping the shuffle discards the whole struct.
+type shuffleState struct {
+	numMapParts int
+	// byReduce maps reduce partition -> a numMapParts-long row of
+	// segments, nil entries where the map task wrote nothing (yet).
+	byReduce map[int][]*Segment
 	// lost marks map partitions whose outputs were dropped by an
-	// executor crash: shuffleID -> mapPart -> true. A re-registered
-	// output (a resubmitted map task's Put) clears the mark.
-	lost  map[int]map[int]bool
+	// executor crash. A re-registered output (a resubmitted map task's
+	// Put) clears the mark.
+	lost  map[int]bool
 	bytes int64
+}
+
+// Store is the application-wide registry of shuffle outputs, indexed by
+// shuffle ID (per-shuffle state, O(1) DropShuffle) and by executor
+// (crash deregistration touches only the crashed executor's segments,
+// not the global segment population).
+type Store struct {
+	shuffles map[int]*shuffleState
+	// byExec maps executor ID -> the set of segment locations it wrote,
+	// maintained by Put/DropShuffle so DeregisterExecutor never scans.
+	byExec map[int]map[loc]struct{}
+	bytes  int64
 }
 
 // NewStore returns an empty shuffle store.
 func NewStore() *Store {
 	return &Store{
-		segs:     make(map[key]*Segment),
-		mapParts: make(map[int]int),
-		lost:     make(map[int]map[int]bool),
+		shuffles: make(map[int]*shuffleState),
+		byExec:   make(map[int]map[loc]struct{}),
 	}
 }
 
@@ -86,49 +104,86 @@ func (s *Store) RegisterShuffle(shuffleID, numMapParts int) {
 	if numMapParts <= 0 {
 		panic(fmt.Sprintf("shuffle: shuffle %d with %d map partitions", shuffleID, numMapParts))
 	}
-	s.mapParts[shuffleID] = numMapParts
+	if st, ok := s.shuffles[shuffleID]; ok {
+		st.numMapParts = numMapParts
+		return
+	}
+	s.shuffles[shuffleID] = &shuffleState{
+		numMapParts: numMapParts,
+		byReduce:    make(map[int][]*Segment),
+		lost:        make(map[int]bool),
+	}
 }
 
 // Registered reports whether a shuffle's outputs have been declared.
 func (s *Store) Registered(shuffleID int) bool {
-	_, ok := s.mapParts[shuffleID]
+	_, ok := s.shuffles[shuffleID]
 	return ok
 }
 
 // NumMapParts returns the map-side width of a registered shuffle.
 func (s *Store) NumMapParts(shuffleID int) int {
-	n, ok := s.mapParts[shuffleID]
+	st, ok := s.shuffles[shuffleID]
 	if !ok {
 		panic(fmt.Sprintf("shuffle: shuffle %d not registered", shuffleID))
 	}
-	return n
+	return st.numMapParts
+}
+
+// forget removes one segment's bookkeeping (byte counters and executor
+// index); the caller clears the row slot.
+func (s *Store) forget(st *shuffleState, l loc, seg *Segment) {
+	s.bytes -= seg.Bytes
+	st.bytes -= seg.Bytes
+	if set, ok := s.byExec[seg.ExecID]; ok {
+		delete(set, l)
+		if len(set) == 0 {
+			delete(s.byExec, seg.ExecID)
+		}
+	}
 }
 
 // Put stores one segment. Empty segments may be stored too (nil Records,
 // zero bytes); readers skip them cheaply.
 func (s *Store) Put(shuffleID, mapPart, reducePart, execID int, records any, items int, bytes int64) {
-	if !s.Registered(shuffleID) {
+	st, ok := s.shuffles[shuffleID]
+	if !ok {
 		panic(fmt.Sprintf("shuffle: Put on unregistered shuffle %d", shuffleID))
 	}
-	k := key{shuffleID, mapPart, reducePart}
-	if old, ok := s.segs[k]; ok {
-		s.bytes -= old.Bytes
+	row := st.byReduce[reducePart]
+	if row == nil {
+		row = make([]*Segment, st.numMapParts)
+		st.byReduce[reducePart] = row
 	}
-	s.segs[k] = &Segment{Records: records, Items: items, Bytes: bytes, ExecID: execID}
+	l := loc{shuffleID, mapPart, reducePart}
+	if old := row[mapPart]; old != nil {
+		s.forget(st, l, old)
+	}
+	row[mapPart] = &Segment{Records: records, Items: items, Bytes: bytes, ExecID: execID}
 	s.bytes += bytes
-	// A rewritten output is no longer lost (map-stage resubmission).
-	if lost, ok := s.lost[shuffleID]; ok {
-		delete(lost, mapPart)
-		if len(lost) == 0 {
-			delete(s.lost, shuffleID)
-		}
+	st.bytes += bytes
+	set := s.byExec[execID]
+	if set == nil {
+		set = make(map[loc]struct{})
+		s.byExec[execID] = set
 	}
+	set[l] = struct{}{}
+	// A rewritten output is no longer lost (map-stage resubmission).
+	delete(st.lost, mapPart)
 }
 
 // Get returns one segment, or nil if the map task wrote nothing for this
 // reduce partition.
 func (s *Store) Get(shuffleID, mapPart, reducePart int) *Segment {
-	return s.segs[key{shuffleID, mapPart, reducePart}]
+	st, ok := s.shuffles[shuffleID]
+	if !ok {
+		return nil
+	}
+	row := st.byReduce[reducePart]
+	if row == nil || mapPart < 0 || mapPart >= len(row) {
+		return nil
+	}
+	return row[mapPart]
 }
 
 // Fetch returns one segment, distinguishing a legitimately empty output
@@ -137,7 +192,7 @@ func (s *Store) Fetch(shuffleID, mapPart, reducePart int) (*Segment, error) {
 	if s.Lost(shuffleID, mapPart) {
 		return nil, &SegmentLostError{Shuffle: shuffleID, MapPart: mapPart, Reduce: reducePart}
 	}
-	return s.segs[key{shuffleID, mapPart, reducePart}], nil
+	return s.Get(shuffleID, mapPart, reducePart), nil
 }
 
 // Inputs returns the segments feeding one reduce partition, ordered by map
@@ -145,32 +200,38 @@ func (s *Store) Fetch(shuffleID, mapPart, reducePart int) (*Segment, error) {
 // output lost to an executor crash fails the whole fetch with the typed
 // *SegmentLostError for the lowest lost map partition.
 func (s *Store) Inputs(shuffleID, reducePart int) ([]*Segment, error) {
-	n := s.NumMapParts(shuffleID)
-	out := make([]*Segment, n)
-	for m := 0; m < n; m++ {
-		if s.Lost(shuffleID, m) {
-			return nil, &SegmentLostError{Shuffle: shuffleID, MapPart: m, Reduce: reducePart}
-		}
-		out[m] = s.segs[key{shuffleID, m, reducePart}]
+	st, ok := s.shuffles[shuffleID]
+	if !ok {
+		panic(fmt.Sprintf("shuffle: shuffle %d not registered", shuffleID))
 	}
+	if len(st.lost) > 0 {
+		for m := 0; m < st.numMapParts; m++ {
+			if st.lost[m] {
+				return nil, &SegmentLostError{Shuffle: shuffleID, MapPart: m, Reduce: reducePart}
+			}
+		}
+	}
+	out := make([]*Segment, st.numMapParts)
+	copy(out, st.byReduce[reducePart])
 	return out, nil
 }
 
 // Lost reports whether a map partition's outputs were dropped by an
 // executor crash and not yet rewritten.
 func (s *Store) Lost(shuffleID, mapPart int) bool {
-	return s.lost[shuffleID][mapPart]
+	st, ok := s.shuffles[shuffleID]
+	return ok && st.lost[mapPart]
 }
 
 // LostMapParts returns the sorted lost map partitions of a shuffle — the
 // exact set a resubmitted map stage must recompute.
 func (s *Store) LostMapParts(shuffleID int) []int {
-	lost := s.lost[shuffleID]
-	if len(lost) == 0 {
+	st, ok := s.shuffles[shuffleID]
+	if !ok || len(st.lost) == 0 {
 		return nil
 	}
-	out := make([]int, 0, len(lost))
-	for m := range lost {
+	out := make([]int, 0, len(st.lost))
+	for m := range st.lost {
 		out = append(out, m)
 	}
 	sort.Ints(out)
@@ -181,21 +242,20 @@ func (s *Store) LostMapParts(shuffleID int) []int {
 // the map-output side of an executor crash — and marks the affected map
 // partitions lost so subsequent fetches fail with ErrSegmentLost instead
 // of silently missing data. It returns the number of segments dropped and
-// their total bytes.
+// their total bytes. The per-executor index makes this proportional to
+// the crashed executor's own output, not the store's population.
 func (s *Store) DeregisterExecutor(execID int) (segments int, bytes int64) {
-	for k, seg := range s.segs {
-		if seg.ExecID != execID {
-			continue
-		}
+	for l := range s.byExec[execID] {
+		st := s.shuffles[l.shuffle]
+		seg := st.byReduce[l.reduce][l.mapPart]
 		s.bytes -= seg.Bytes
+		st.bytes -= seg.Bytes
 		bytes += seg.Bytes
 		segments++
-		delete(s.segs, k)
-		if s.lost[k.shuffle] == nil {
-			s.lost[k.shuffle] = make(map[int]bool)
-		}
-		s.lost[k.shuffle][k.mapPart] = true
+		st.byReduce[l.reduce][l.mapPart] = nil
+		st.lost[l.mapPart] = true
 	}
+	delete(s.byExec, execID)
 	return segments, bytes
 }
 
@@ -204,12 +264,16 @@ func (s *Store) TotalBytes() int64 { return s.bytes }
 
 // DropShuffle frees a shuffle's segments (after its consumer stage ran).
 func (s *Store) DropShuffle(shuffleID int) {
-	for k, seg := range s.segs {
-		if k.shuffle == shuffleID {
-			s.bytes -= seg.Bytes
-			delete(s.segs, k)
+	st, ok := s.shuffles[shuffleID]
+	if !ok {
+		return
+	}
+	for reduce, row := range st.byReduce {
+		for mapPart, seg := range row {
+			if seg != nil {
+				s.forget(st, loc{shuffleID, mapPart, reduce}, seg)
+			}
 		}
 	}
-	delete(s.mapParts, shuffleID)
-	delete(s.lost, shuffleID)
+	delete(s.shuffles, shuffleID)
 }

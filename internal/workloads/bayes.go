@@ -29,7 +29,7 @@ type ClassTok struct {
 
 // Hash64 implements rdd.Hashable.
 func (k ClassTok) Hash64() uint64 {
-	return rdd.HashAny(int64(k.C)<<32 | int64(k.T))
+	return rdd.HashInt64(int64(k.C)<<32 | int64(k.T))
 }
 
 // Bayes is HiBench's Naive Bayes classification: count (class, token)

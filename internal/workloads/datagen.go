@@ -20,7 +20,7 @@ func (t TextRecord) ByteSize() int64 { return 100 }
 
 // Hash64 implements rdd.Hashable.
 func (t TextRecord) Hash64() uint64 {
-	return rdd.HashAny(t.Key) ^ uint64(t.Payload)
+	return rdd.HashString(t.Key) ^ uint64(t.Payload)
 }
 
 // genTextRecord draws a record with a 10-character key.

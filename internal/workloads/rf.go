@@ -30,7 +30,7 @@ type NodeFeatBin struct {
 
 // Hash64 implements rdd.Hashable.
 func (k NodeFeatBin) Hash64() uint64 {
-	return rdd.HashAny(int64(k.Node)<<40 | int64(k.Feat)<<16 | int64(k.Bin))
+	return rdd.HashInt64(int64(k.Node)<<40 | int64(k.Feat)<<16 | int64(k.Bin))
 }
 
 // RandomForest is HiBench's rf: an ensemble of decision trees built
@@ -70,7 +70,7 @@ func (w *RandomForest) Run(app *cluster.App, size Size) Summary {
 		// Bootstrap: a deterministic ~80% subsample per tree, keyed by
 		// example identity so sampling is independent of features/labels.
 		sample := rdd.Filter(examples, func(e Example) bool {
-			h := rdd.HashAny(int64(e.ID)*1_000_003 + treeSeed)
+			h := rdd.HashInt64(int64(e.ID)*1_000_003 + treeSeed)
 			return h%100 < 80
 		})
 		for level := 0; level < p.Depth; level++ {
