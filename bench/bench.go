@@ -59,6 +59,7 @@ func Cases() []Case {
 	cases = append(cases,
 		Case{Name: "micro/reduceByKey", Iter: microReduceByKey},
 		Case{Name: "micro/groupByKey", Iter: microGroupByKey},
+		Case{Name: "micro/migrationEpoch", Iter: microMigrationEpoch},
 	)
 	return cases
 }

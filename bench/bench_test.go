@@ -30,7 +30,8 @@ func TestMicroBenchesRun(t *testing.T) {
 		t.Skip("bench cases skipped in -short")
 	}
 	for _, c := range bench.Cases() {
-		if c.Name == "micro/reduceByKey" || c.Name == "micro/groupByKey" {
+		if c.Name == "micro/reduceByKey" || c.Name == "micro/groupByKey" ||
+			c.Name == "micro/migrationEpoch" {
 			c.Iter()
 		}
 	}

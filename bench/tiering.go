@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/blockmgr"
+	"repro/internal/executor"
+	"repro/internal/memsim"
+	"repro/internal/numa"
+	"repro/internal/shuffle"
+	"repro/internal/sim"
+	"repro/internal/tiering"
+)
+
+const (
+	migBlocks    = 256
+	migBlockSize = 4 << 10
+	migEpochs    = 50
+)
+
+// microMigrationEpoch measures the host cost of the tiering engine's
+// epoch loop: ledger decay, policy planning over a few hundred blocks,
+// migration charging/simulation and residency flips. Each iteration
+// builds a fresh pool, caches migBlocks blocks under a DRAM budget of
+// half the footprint, then drives migEpochs ticks while re-heating a
+// rotating window of demoted blocks so every epoch both promotes and
+// demotes (the policy's worst case, not its quiet path).
+func microMigrationEpoch() {
+	cfg := tiering.DefaultConfig(tiering.Watermark)
+	cfg.FastBudgetBytes = migBlocks * migBlockSize / 2
+
+	k := sim.NewKernel()
+	sys := memsim.NewSystem(k)
+	pool := executor.NewPool(1, 4, numa.BindingForTier(memsim.Tier2), sys, 0)
+	eng, err := tiering.NewEngine(cfg, pool, shuffle.NewStore(), executor.DefaultCostModel(), 1)
+	if err != nil {
+		panic(fmt.Sprintf("bench migrationEpoch: %v", err))
+	}
+
+	blocks := pool.Executors[0].Blocks
+	for i := 0; i < migBlocks; i++ {
+		blocks.Put(blockmgr.BlockID{RDD: 1, Partition: i}, i, migBlockSize, 1)
+	}
+	for epoch := 0; epoch < migEpochs; epoch++ {
+		// Re-heat a rotating window so the hot set keeps shifting and the
+		// watermark planner always has both demotions and promotions.
+		for i := 0; i < migBlocks/4; i++ {
+			part := (epoch*migBlocks/4 + i) % migBlocks
+			blocks.Get(blockmgr.BlockID{RDD: 1, Partition: part})
+		}
+		eng.Tick()
+	}
+	if eng.MigratedBlocks() == 0 {
+		panic("bench migrationEpoch: churn loop migrated nothing")
+	}
+}

@@ -1,0 +1,351 @@
+// Command autotier sweeps the dynamic tiering policies across the HiBench
+// workloads under a DRAM-constrained cache placement: heap and shuffle on
+// local DRAM, the RDD cache on local DCPM, and a DRAM cache budget of a
+// fraction of each workload's measured cache footprint. For every workload
+// it first verifies that the static policy reproduces the untiered run
+// bit-for-bit, then runs {watermark, bandwidth-aware} x the budget
+// fractions and reports end-to-end runtime against the static baseline.
+//
+// Usage:
+//
+//	autotier [-size small] [-seed 1] [-o results/autotier.md]
+//	autotier -smoke        # CI mode: tiny size, 2 policies, determinism check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+
+	"repro/internal/executor"
+	"repro/internal/hibench"
+	"repro/internal/memsim"
+	"repro/internal/tiering"
+	"repro/internal/workloads"
+)
+
+var fracs = []float64{0.10, 0.25, 0.50}
+
+var dynamicPolicies = []tiering.PolicyKind{tiering.Watermark, tiering.BandwidthAware}
+
+// cell is one measured sweep point.
+type cell struct {
+	policy tiering.PolicyKind
+	frac   float64 // 0 for static
+	budget int64   // 0 for static
+	res    hibench.RunResult
+}
+
+// sweep is one workload's column of cells, static first.
+type sweep struct {
+	workload  string
+	footprint int64
+	cells     []cell
+}
+
+func main() {
+	size := flag.String("size", "small", "dataset size profile (tiny|small|large)")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	out := flag.String("o", "", "write the markdown report to this file (default stdout)")
+	smoke := flag.Bool("smoke", false, "CI smoke mode: tiny size, static+watermark, same-seed determinism check")
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, "autotier -smoke:", err)
+			os.Exit(1)
+		}
+		fmt.Println("autotier smoke: OK (static inert, watermark deterministic)")
+		return
+	}
+
+	sz, err := parseSize(*size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autotier:", err)
+		os.Exit(1)
+	}
+	var sweeps []sweep
+	for _, w := range workloads.All() {
+		s, err := sweepWorkload(w.Name(), sz, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "autotier:", err)
+			os.Exit(1)
+		}
+		sweeps = append(sweeps, s)
+		fmt.Fprintf(os.Stderr, "autotier: %s/%s done (footprint %d B, %d cells)\n",
+			w.Name(), sz, s.footprint, len(s.cells))
+	}
+
+	report := render(sweeps, *size, *seed)
+	if *out == "" {
+		fmt.Print(report)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "autotier:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "autotier: wrote %s\n", *out)
+}
+
+// parseSize maps the -size flag onto the dataset profiles.
+func parseSize(s string) (workloads.Size, error) {
+	for _, sz := range workloads.AllSizes() {
+		if sz.String() == s {
+			return sz, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown size %q (tiny|small|large)", s)
+}
+
+// dcpmCachePlacement is the DRAM-constrained placement: heap and shuffle
+// stay on local DRAM while the RDD cache overflows to the far NVDIMM
+// group (Tier 3) — the spillover target when the local DIMMs are full.
+func dcpmCachePlacement() *executor.Placement {
+	return &executor.Placement{Heap: memsim.Tier0, Shuffle: memsim.Tier0, Cache: memsim.Tier3}
+}
+
+// baseSpec is the shared experiment cell for one workload.
+func baseSpec(workload string, size workloads.Size, seed int64) hibench.RunSpec {
+	return hibench.RunSpec{
+		Workload:  workload,
+		Size:      size,
+		Tier:      memsim.Tier0,
+		Placement: dcpmCachePlacement(),
+		Seed:      seed,
+	}
+}
+
+// sweepWorkload measures one workload: untiered, static (checked inert),
+// then every dynamic policy x budget fraction.
+func sweepWorkload(workload string, size workloads.Size, seed int64) (sweep, error) {
+	spec := baseSpec(workload, size, seed)
+	plain, err := hibench.Run(spec)
+	if err != nil {
+		return sweep{}, err
+	}
+
+	staticSpec := spec
+	staticCfg := tiering.DefaultConfig(tiering.Static)
+	staticSpec.Tiering = &staticCfg
+	st, err := hibench.Run(staticSpec)
+	if err != nil {
+		return sweep{}, err
+	}
+	if err := sameRun(plain, st); err != nil {
+		return sweep{}, fmt.Errorf("%s/%s: static policy is not inert: %w", workload, size, err)
+	}
+
+	s := sweep{
+		workload:  workload,
+		footprint: st.Engine["tiering.occupancy.tier3"],
+		cells:     []cell{{policy: tiering.Static, res: st}},
+	}
+	if s.footprint == 0 {
+		return s, nil // nothing cached: dynamic policies have nothing to manage
+	}
+	for _, frac := range fracs {
+		budget := int64(frac * float64(s.footprint))
+		if budget < 1 {
+			budget = 1
+		}
+		for _, pol := range dynamicPolicies {
+			cfg := tiering.DefaultConfig(pol)
+			cfg.Slow = memsim.Tier3
+			cfg.FastBudgetBytes = budget
+			dynSpec := spec
+			dynSpec.Tiering = &cfg
+			res, err := hibench.Run(dynSpec)
+			if err != nil {
+				return sweep{}, err
+			}
+			s.cells = append(s.cells, cell{policy: pol, frac: frac, budget: budget, res: res})
+		}
+	}
+	return s, nil
+}
+
+// sameRun checks the virtual observables two runs must share when tiering
+// is inert.
+func sameRun(a, b hibench.RunResult) error {
+	if a.Duration != b.Duration {
+		return fmt.Errorf("duration %v vs %v", a.Duration, b.Duration)
+	}
+	if a.Metrics != b.Metrics {
+		return fmt.Errorf("metrics diverged")
+	}
+	if a.NVMCounters != b.NVMCounters {
+		return fmt.Errorf("NVM counters diverged")
+	}
+	return nil
+}
+
+// render produces the markdown report.
+func render(sweeps []sweep, size string, seed int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Online tiering sweep\n\n")
+	fmt.Fprintf(&b, "Generated by `go run ./cmd/autotier -size %s -seed %d -o results/autotier.md`.\n\n", size, seed)
+	b.WriteString(`Placement: heap and shuffle on Tier 0 (local DRAM), the RDD cache on
+Tier 3 (remote DCPM) — the DRAM-constrained deployment where cached data
+overflows to the far NVDIMM group. The static policy keeps every cached
+block on remote DCPM (and is verified bit-identical to running without
+the tiering engine at all). Dynamic policies land new cache blocks on DRAM
+under a budget of frac x the workload's measured cache footprint and
+migrate blocks between the tiers at stage-boundary epochs; migration
+pays real costs (source-tier read, destination-tier write with 256 B
+XPLine write amplification, per-block remap CPU), so a policy can lose.
+
+`)
+	for _, s := range sweeps {
+		fmt.Fprintf(&b, "## %s/%s", s.workload, size)
+		if s.footprint == 0 {
+			b.WriteString("\n\nNo cached data: the tiering engine has nothing to manage; ")
+			fmt.Fprintf(&b, "static runtime %s.\n\n", s.cells[0].res.Duration)
+			continue
+		}
+		fmt.Fprintf(&b, " (cache footprint %s)\n\n", kib(s.footprint))
+		b.WriteString("| policy | DRAM frac | budget | runtime | vs static | moves | moved | migration time |\n")
+		b.WriteString("|---|---|---|---|---|---|---|---|\n")
+		st := s.cells[0].res
+		for _, c := range s.cells {
+			if c.policy == tiering.Static {
+				fmt.Fprintf(&b, "| static | – | – | %s | – | 0 | 0 | 0 |\n", st.Duration)
+				continue
+			}
+			fmt.Fprintf(&b, "| %s | %.2f | %s | %s | %+.2f%% | %d | %s | %.2fms |\n",
+				c.policy, c.frac, kib(c.budget), c.res.Duration, delta(st, c.res),
+				c.res.Tiering.MigratedBlocks, kib(c.res.Tiering.MigratedBytes),
+				c.res.Tiering.MigrationNS/1e6)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString(takeaways(sweeps, size))
+	return b.String()
+}
+
+// delta is the dynamic run's end-to-end runtime change vs static, in
+// percent (negative = dynamic wins).
+func delta(static, dyn hibench.RunResult) float64 {
+	return (float64(dyn.Duration) - float64(static.Duration)) / float64(static.Duration) * 100
+}
+
+func kib(b int64) string {
+	if b < 1<<10 {
+		return fmt.Sprintf("%d B", b)
+	}
+	return fmt.Sprintf("%d KiB", b>>10)
+}
+
+// takeaways scans the sweep for the headline outcomes: where the
+// watermark policy beats static end-to-end, where migration overhead
+// makes a dynamic policy worse, and where the bandwidth throttle earns
+// its keep.
+func takeaways(sweeps []sweep, size string) string {
+	var wins, losses, throttled []string
+	for _, s := range sweeps {
+		if s.footprint == 0 {
+			continue
+		}
+		st := s.cells[0].res
+		var bestWM, worst float64
+		var bestWMFrac, worstFrac float64
+		var worstPol tiering.PolicyKind
+		var bestThrottleGain float64
+		var throttleFrac float64
+		for _, c := range s.cells[1:] {
+			d := delta(st, c.res)
+			if c.policy == tiering.Watermark && d < bestWM {
+				bestWM, bestWMFrac = d, c.frac
+			}
+			if d > worst {
+				worst, worstFrac, worstPol = d, c.frac, c.policy
+			}
+			if c.policy == tiering.BandwidthAware {
+				for _, w := range s.cells[1:] {
+					if w.policy == tiering.Watermark && w.frac == c.frac {
+						if gain := delta(st, w.res) - d; gain > bestThrottleGain {
+							bestThrottleGain, throttleFrac = gain, c.frac
+						}
+					}
+				}
+			}
+		}
+		if bestWM < 0 {
+			wins = append(wins, fmt.Sprintf("**%s/%s** (%+.2f%% at frac %.2f)",
+				s.workload, size, bestWM, bestWMFrac))
+		}
+		if worst > 0 {
+			losses = append(losses, fmt.Sprintf("**%s/%s** (%s %+.2f%% at frac %.2f)",
+				s.workload, size, worstPol, worst, worstFrac))
+		}
+		if bestThrottleGain > 0.1 {
+			throttled = append(throttled, fmt.Sprintf("%s/%s (%.2f points at frac %.2f)",
+				s.workload, size, bestThrottleGain, throttleFrac))
+		}
+	}
+	var b strings.Builder
+	b.WriteString("## Takeaways\n\n")
+	if len(wins) > 0 {
+		fmt.Fprintf(&b, "- **Watermark beats static end-to-end** on %s: landing new\n  blocks on DRAM and demoting only the cold overflow recovers most of the\n  remote-DCPM cache penalty.\n", strings.Join(wins, ", "))
+	} else {
+		b.WriteString("- Watermark never beat static in this sweep.\n")
+	}
+	if len(losses) > 0 {
+		fmt.Fprintf(&b, "- **Migration overhead makes a dynamic policy worse** on %s:\n  the demoted bytes (remote-DCPM writes with XPLine amplification, plus\n  per-block remap) never pay back within the run.\n", strings.Join(losses, ", "))
+	} else {
+		b.WriteString("- No configuration lost to static in this sweep.\n")
+	}
+	if len(throttled) > 0 {
+		fmt.Fprintf(&b, "- **The bandwidth throttle earns its keep** on %s:\n  capping migration traffic per epoch defers (and often avoids) demotions,\n  trimming the watermark policy's worst cases without giving up its wins.\n", strings.Join(throttled, ", "))
+	}
+	return b.String()
+}
+
+// runSmoke is the CI mode: on the tiny profile it checks that the static
+// policy is inert and that a constrained watermark run both migrates and
+// is bit-identical across two same-seed executions.
+func runSmoke(seed int64) error {
+	spec := baseSpec("pagerank", workloads.Tiny, seed)
+	plain, err := hibench.Run(spec)
+	if err != nil {
+		return err
+	}
+	staticSpec := spec
+	staticCfg := tiering.DefaultConfig(tiering.Static)
+	staticSpec.Tiering = &staticCfg
+	st, err := hibench.Run(staticSpec)
+	if err != nil {
+		return err
+	}
+	if err := sameRun(plain, st); err != nil {
+		return fmt.Errorf("static policy is not inert: %w", err)
+	}
+	footprint := st.Engine["tiering.occupancy.tier3"]
+	if footprint == 0 {
+		return fmt.Errorf("pagerank/tiny cached nothing")
+	}
+
+	cfg := tiering.DefaultConfig(tiering.Watermark)
+	cfg.Slow = memsim.Tier3
+	cfg.FastBudgetBytes = footprint / 4
+	wmSpec := spec
+	wmSpec.Tiering = &cfg
+	first, err := hibench.Run(wmSpec)
+	if err != nil {
+		return err
+	}
+	second, err := hibench.Run(wmSpec)
+	if err != nil {
+		return err
+	}
+	if first.Tiering.MigratedBlocks == 0 {
+		return fmt.Errorf("constrained watermark run migrated nothing")
+	}
+	if first.Duration != second.Duration || first.Metrics != second.Metrics ||
+		!reflect.DeepEqual(first.Engine, second.Engine) {
+		return fmt.Errorf("same-seed watermark runs diverged: %v vs %v", first.Duration, second.Duration)
+	}
+	return nil
+}

@@ -1,9 +1,13 @@
 // Command report prints the workload catalog (Table II) and, with -run,
-// a one-shot summary of the headline characterization numbers.
+// a one-shot summary of the headline characterization numbers. With
+// -tiering it runs the dynamic tiering demo — static vs watermark on the
+// remote-DCPM cache overflow scenario under
+// a DRAM budget of a quarter of the cache footprint — and prints the
+// engine's tiering gauges.
 //
 // Usage:
 //
-//	report [-run]
+//	report [-run] [-tiering]
 package main
 
 import (
@@ -12,11 +16,16 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/executor"
+	"repro/internal/hibench"
+	"repro/internal/memsim"
+	"repro/internal/tiering"
 	"repro/internal/workloads"
 )
 
 func main() {
 	run := flag.Bool("run", false, "also run the characterization matrix and print headline numbers")
+	tier := flag.Bool("tiering", false, "also run the dynamic tiering demo and print its gauges")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	flag.Parse()
 
@@ -30,6 +39,11 @@ func main() {
 	}
 	t.Render(os.Stdout)
 
+	if *tier {
+		fmt.Println()
+		tieringDemo(*seed)
+	}
+
 	if !*run {
 		return
 	}
@@ -42,4 +56,56 @@ func main() {
 	fmt.Printf("  DIMM energy DCPM vs DRAM:  %.2fx per DIMM\n", c.MeanEnergyRatio())
 	fmt.Println()
 	core.GuidelinesTable(core.DeriveGuidelines(c, 0.15)).Render(os.Stdout)
+}
+
+// tieringDemo runs rf/large with the RDD cache placed on remote DCPM
+// (the far NVDIMM overflow group), once with the static policy (the
+// footprint probe and baseline) and once with the watermark policy under
+// a DRAM budget of a quarter of the measured footprint, then prints the
+// runs side by side with the engine's tiering gauges.
+func tieringDemo(seed int64) {
+	place := &executor.Placement{Heap: memsim.Tier0, Shuffle: memsim.Tier0, Cache: memsim.Tier3}
+	base := hibench.RunSpec{Workload: "rf", Size: workloads.Large,
+		Tier: memsim.Tier0, Placement: place, Seed: seed}
+
+	staticCfg := tiering.DefaultConfig(tiering.Static)
+	staticSpec := base
+	staticSpec.Tiering = &staticCfg
+	st, err := hibench.Run(staticSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tiering demo:", err)
+		os.Exit(1)
+	}
+	footprint := st.Engine["tiering.occupancy.tier3"]
+
+	wmCfg := tiering.DefaultConfig(tiering.Watermark)
+	wmCfg.Slow = memsim.Tier3
+	wmCfg.FastBudgetBytes = footprint / 4
+	wmSpec := base
+	wmSpec.Tiering = &wmCfg
+	wm, err := hibench.Run(wmSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tiering demo:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("dynamic tiering demo: rf/large, cache on %s, footprint %d KiB, DRAM budget %d KiB\n",
+		memsim.Tier3, footprint>>10, wmCfg.FastBudgetBytes>>10)
+	demo := core.Table{
+		Headers: []string{"policy", "runtime", "epochs", "migrated", "moved KiB", "tier0 KiB", "tier3 KiB"},
+	}
+	for _, r := range []hibench.RunResult{st, wm} {
+		demo.AddRow(
+			r.Tiering.Policy,
+			r.Duration.String(),
+			fmt.Sprintf("%d", r.Tiering.Epochs),
+			fmt.Sprintf("%d", r.Tiering.MigratedBlocks),
+			fmt.Sprintf("%d", r.Tiering.MigratedBytes>>10),
+			fmt.Sprintf("%d", r.Engine["tiering.occupancy.tier0"]>>10),
+			fmt.Sprintf("%d", r.Engine["tiering.occupancy.tier3"]>>10),
+		)
+	}
+	demo.Render(os.Stdout)
+	delta := float64(st.Duration-wm.Duration) / float64(st.Duration) * 100
+	fmt.Printf("watermark vs static: %+.2f%% runtime\n", -delta)
 }

@@ -6,12 +6,20 @@
 //
 // The block manager is a pure data structure: memory-tier charging for
 // block reads/writes is done by the caller (the task context), which knows
-// the executor's binding.
+// where each block is resident. Residency is a per-block label — every
+// block lives in exactly one memory tier, initially the manager's landing
+// tier — that the dynamic tiering engine (internal/tiering) rebinds when
+// it migrates a block between DRAM and DCPM. Residency never affects LRU
+// order, capacity accounting or hit/miss statistics; it only tells the
+// charging layer which tier's counters a block access belongs to.
 package blockmgr
 
 import (
 	"container/list"
 	"fmt"
+	"sort"
+
+	"repro/internal/memsim"
 )
 
 // BlockID names a materialized partition of an RDD.
@@ -23,12 +31,51 @@ type BlockID struct {
 // String formats like Spark's "rdd_12_3".
 func (id BlockID) String() string { return fmt.Sprintf("rdd_%d_%d", id.RDD, id.Partition) }
 
+// Less orders block ids by (RDD, Partition), the canonical deterministic
+// order used whenever block sets collected from map iteration are sorted.
+func (id BlockID) Less(other BlockID) bool {
+	if id.RDD != other.RDD {
+		return id.RDD < other.RDD
+	}
+	return id.Partition < other.Partition
+}
+
+// Observer receives block lifecycle events — the hook the tiering hotness
+// ledger hangs off. All callbacks fire on the driver goroutine: accesses
+// and puts are replayed at commit time in partition order, evictions
+// happen inside commit-time puts, and drops happen in the scheduler's
+// crash path. A manager with no observer behaves identically to one that
+// never had the hook (LRU order, stats and eviction choices are
+// observer-independent by construction).
+type Observer interface {
+	// BlockAccessed fires on every counted cache hit (Get, or a staged
+	// hit replayed by ReplayHit while the block is still resident).
+	BlockAccessed(id BlockID, bytes int64)
+	// BlockPut fires after a block is stored (including overwrites).
+	BlockPut(id BlockID, bytes int64)
+	// BlockEvicted fires when LRU capacity pressure evicts a block.
+	BlockEvicted(id BlockID, bytes int64)
+	// BlockDropped fires when a block is removed outside the LRU path:
+	// explicit Remove, or RemoveAll on an executor crash.
+	BlockDropped(id BlockID, bytes int64)
+}
+
 type entry struct {
 	id    BlockID
 	data  any
 	bytes int64
 	items int
+	tier  memsim.TierID
 	elem  *list.Element
+}
+
+// BlockInfo is a read-only view of one resident block, for policy
+// enumeration.
+type BlockInfo struct {
+	ID    BlockID
+	Bytes int64
+	Items int
+	Tier  memsim.TierID
 }
 
 // Manager is one executor's block store.
@@ -38,13 +85,20 @@ type Manager struct {
 	blocks   map[BlockID]*entry
 	lru      *list.List // front = most recently used
 
+	// landing is the tier newly stored blocks are resident on; tierUsed
+	// tracks resident bytes per tier (summing to used at all times).
+	landing  memsim.TierID
+	tierUsed [memsim.NumTiers]int64
+	obs      Observer
+
 	hits      int64
 	misses    int64
 	evictions int64
 }
 
 // New creates a manager with the given capacity in bytes. capacity <= 0
-// means unbounded.
+// means unbounded. Blocks land on Tier 0 until SetLandingTier rebinds the
+// landing tier (the executor pool binds it to the placement's cache tier).
 func New(capacity int64) *Manager {
 	return &Manager{
 		capacity: capacity,
@@ -67,6 +121,68 @@ func (m *Manager) Stats() (hits, misses, evictions int64) {
 	return m.hits, m.misses, m.evictions
 }
 
+// SetObserver installs the lifecycle observer (nil uninstalls).
+func (m *Manager) SetObserver(o Observer) { m.obs = o }
+
+// SetLandingTier rebinds the tier newly stored blocks are resident on.
+// Existing blocks keep their residency.
+func (m *Manager) SetLandingTier(t memsim.TierID) {
+	if !t.Valid() {
+		panic(fmt.Sprintf("blockmgr: invalid landing tier %d", t))
+	}
+	m.landing = t
+}
+
+// LandingTier returns the tier newly stored blocks land on.
+func (m *Manager) LandingTier() memsim.TierID { return m.landing }
+
+// TierOf returns the tier a block is resident on.
+func (m *Manager) TierOf(id BlockID) (memsim.TierID, bool) {
+	e, ok := m.blocks[id]
+	if !ok {
+		return 0, false
+	}
+	return e.tier, true
+}
+
+// TierUsed returns the bytes resident on one tier. Summed over all tiers
+// it equals Used() — every block is resident in exactly one tier.
+func (m *Manager) TierUsed(t memsim.TierID) int64 {
+	if !t.Valid() {
+		return 0
+	}
+	return m.tierUsed[t]
+}
+
+// SetResidency rebinds a resident block to another tier and reports
+// whether the block existed. It is the tiering engine's migration
+// primitive: pure metadata — LRU order, stats and capacity are untouched;
+// the engine charges the actual data movement to the memory system.
+func (m *Manager) SetResidency(id BlockID, to memsim.TierID) bool {
+	if !to.Valid() {
+		panic(fmt.Sprintf("blockmgr: invalid residency tier %d for %s", to, id))
+	}
+	e, ok := m.blocks[id]
+	if !ok {
+		return false
+	}
+	m.tierUsed[e.tier] -= e.bytes
+	e.tier = to
+	m.tierUsed[to] += e.bytes
+	return true
+}
+
+// Blocks lists every resident block ordered by id — the deterministic
+// enumeration migration policies plan over.
+func (m *Manager) Blocks() []BlockInfo {
+	out := make([]BlockInfo, 0, len(m.blocks))
+	for _, e := range m.blocks {
+		out = append(out, BlockInfo{ID: e.id, Bytes: e.bytes, Items: e.items, Tier: e.tier})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
+	return out
+}
+
 // Get returns the block's data and size, marking it most recently used.
 func (m *Manager) Get(id BlockID) (data any, bytes int64, items int, ok bool) {
 	e, found := m.blocks[id]
@@ -76,6 +192,9 @@ func (m *Manager) Get(id BlockID) (data any, bytes int64, items int, ok bool) {
 	}
 	m.hits++
 	m.lru.MoveToFront(e.elem)
+	if m.obs != nil {
+		m.obs.BlockAccessed(id, e.bytes)
+	}
 	return e.data, e.bytes, e.items, true
 }
 
@@ -88,7 +207,9 @@ func (m *Manager) Contains(id BlockID) bool {
 // Peek returns a block's data without recording a hit or renewing its LRU
 // position: a read-only view of the store as of stage start, used by
 // phase-1 task compute running concurrently. The hit and its LRU effect
-// are staged by the task context and applied later via ReplayHit.
+// are staged by the task context and applied later via ReplayHit. Peek
+// never fires the observer — phase-1 workers must not mutate the hotness
+// ledger; the staged hit is observed at replay time instead.
 func (m *Manager) Peek(id BlockID) (data any, bytes int64, items int, ok bool) {
 	e, found := m.blocks[id]
 	if !found {
@@ -104,6 +225,9 @@ func (m *Manager) ReplayHit(id BlockID) {
 	m.hits++
 	if e, ok := m.blocks[id]; ok {
 		m.lru.MoveToFront(e.elem)
+		if m.obs != nil {
+			m.obs.BlockAccessed(id, e.bytes)
+		}
 	}
 }
 
@@ -113,13 +237,16 @@ func (m *Manager) ReplayMiss() { m.misses++ }
 // Put stores a block, evicting least-recently-used blocks if needed, and
 // returns the ids of evicted blocks so callers can account recomputation.
 // A block larger than the whole capacity is not stored (Spark drops such
-// partitions rather than thrashing the cache).
+// partitions rather than thrashing the cache). The stored block is
+// resident on the landing tier, even when it overwrites a block that had
+// been migrated elsewhere (an overwrite rewrites the data).
 func (m *Manager) Put(id BlockID, data any, bytes int64, items int) (evicted []BlockID) {
 	if bytes < 0 {
 		panic(fmt.Sprintf("blockmgr: negative block size %d for %s", bytes, id))
 	}
 	if old, ok := m.blocks[id]; ok {
 		m.used -= old.bytes
+		m.tierUsed[old.tier] -= old.bytes
 		m.lru.Remove(old.elem)
 		delete(m.blocks, id)
 	}
@@ -131,11 +258,18 @@ func (m *Manager) Put(id BlockID, data any, bytes int64, items int) (evicted []B
 		m.removeEntry(victim)
 		m.evictions++
 		evicted = append(evicted, victim.id)
+		if m.obs != nil {
+			m.obs.BlockEvicted(victim.id, victim.bytes)
+		}
 	}
-	e := &entry{id: id, data: data, bytes: bytes, items: items}
+	e := &entry{id: id, data: data, bytes: bytes, items: items, tier: m.landing}
 	e.elem = m.lru.PushFront(e)
 	m.blocks[id] = e
 	m.used += bytes
+	m.tierUsed[e.tier] += bytes
+	if m.obs != nil {
+		m.obs.BlockPut(id, bytes)
+	}
 	return evicted
 }
 
@@ -146,6 +280,9 @@ func (m *Manager) Remove(id BlockID) bool {
 		return false
 	}
 	m.removeEntry(e)
+	if m.obs != nil {
+		m.obs.BlockDropped(id, e.bytes)
+	}
 	return true
 }
 
@@ -157,9 +294,22 @@ func (m *Manager) Remove(id BlockID) bool {
 func (m *Manager) RemoveAll() (blocks int, bytes int64) {
 	blocks = len(m.blocks)
 	bytes = m.used
+	if m.obs != nil && blocks > 0 {
+		// Notify in id order so observers see a deterministic drop
+		// sequence regardless of map iteration order.
+		dropped := make([]*entry, 0, blocks)
+		for _, e := range m.blocks {
+			dropped = append(dropped, e)
+		}
+		sort.Slice(dropped, func(i, j int) bool { return dropped[i].id.Less(dropped[j].id) })
+		for _, e := range dropped {
+			m.obs.BlockDropped(e.id, e.bytes)
+		}
+	}
 	m.blocks = make(map[BlockID]*entry)
 	m.lru.Init()
 	m.used = 0
+	m.tierUsed = [memsim.NumTiers]int64{}
 	return blocks, bytes
 }
 
@@ -172,4 +322,5 @@ func (m *Manager) removeEntry(e *entry) {
 	m.lru.Remove(e.elem)
 	delete(m.blocks, e.id)
 	m.used -= e.bytes
+	m.tierUsed[e.tier] -= e.bytes
 }

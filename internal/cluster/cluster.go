@@ -19,6 +19,7 @@ import (
 	"repro/internal/shuffle"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/tiering"
 	"repro/internal/trace"
 )
 
@@ -67,6 +68,11 @@ type Conf struct {
 	Seed int64
 	// Cost overrides the cost model; zero value selects the default.
 	Cost *executor.CostModel
+	// Tiering enables the dynamic block-migration engine with the given
+	// policy configuration; nil disables tiering entirely. The static
+	// policy attaches the engine (ledgers observe, gauges publish) but
+	// never migrates — byte-identical to a nil config.
+	Tiering *tiering.Config
 }
 
 // DefaultConf is the paper's default deployment: one executor using all 40
@@ -109,6 +115,11 @@ func (c Conf) Validate() error {
 	if err := c.Faults.Validate(c.Executors); err != nil {
 		return err
 	}
+	if c.Tiering != nil {
+		if err := c.Tiering.Validate(); err != nil {
+			return err
+		}
+	}
 	return c.Binding.Validate()
 }
 
@@ -122,6 +133,7 @@ type App struct {
 	sched *scheduler.Scheduler
 	cost  executor.CostModel
 	meter *energy.Meter
+	tier  *tiering.Engine
 
 	rddSeq     int
 	shuffleSeq int
@@ -168,7 +180,17 @@ func New(conf Conf) *App {
 		cost:  cost,
 		meter: energy.NewMeter(),
 	}
+	if conf.Tiering != nil {
+		eng, err := tiering.NewEngine(*conf.Tiering, pool, a.store, cost, conf.Seed)
+		if err != nil {
+			panic(err)
+		}
+		a.tier = eng
+	}
 	a.sched = scheduler.New(a)
+	if a.tier != nil {
+		a.tier.SetRegistry(a.sched.Counters())
+	}
 	a.startExecutors()
 	a.started = k.Now()
 	return a
@@ -223,6 +245,10 @@ func (a *App) TaskFailureRate() float64 {
 
 // FaultPlan implements scheduler.Env.
 func (a *App) FaultPlan() *faults.Plan { return a.conf.Faults }
+
+// Tiering implements scheduler.Env and exposes the dynamic tiering
+// engine; nil when the conf leaves tiering disabled.
+func (a *App) Tiering() *tiering.Engine { return a.tier }
 
 // TaskParallelism implements scheduler.Env: the phase-1 worker count,
 // defaulting to runtime.GOMAXPROCS(0) when the conf leaves it zero.

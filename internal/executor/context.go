@@ -118,6 +118,10 @@ type TaskContext struct {
 	// heap burst (interleaved allocation).
 	HeapSpill     *memsim.Tier
 	HeapSpillFrac float64
+	// Sys resolves tier ids to tiers for residency-aware cache charging
+	// (set by Pool.ConfigureContext). With a nil Sys every cache burst
+	// falls back to CacheTier, the static pre-tiering behaviour.
+	Sys *memsim.System
 	// Cost is the cost model in effect.
 	Cost CostModel
 	// Blocks is the executor-local block manager (RDD cache).
@@ -274,6 +278,39 @@ func (c *TaskContext) ShuffleRand(op memsim.Op, items int, bytes int64) {
 
 // CacheSeq charges a streaming burst against the RDD-cache tier.
 func (c *TaskContext) CacheSeq(op memsim.Op, bytes int64) { c.seqOn(c.CacheTier, op, bytes) }
+
+// TierSeq charges a streaming burst against an explicit tier. It is the
+// staged charge primitive behind residency-aware cache accounting and the
+// tiering engine's migration traffic: like every other charge it
+// accumulates a BurstDelta task-locally and publishes at Commit.
+func (c *TaskContext) TierSeq(t *memsim.Tier, op memsim.Op, bytes int64) { c.seqOn(t, op, bytes) }
+
+// CacheBlockSeq charges a streaming cache burst to the tier the block is
+// resident on: the task's own staged puts and blocks about to be stored
+// charge the manager's landing tier, previously committed blocks charge
+// wherever the tiering engine last placed them. During a stage residency
+// is frozen (migrations happen only at epoch ticks between stages), so
+// the resolved tier is identical for any phase-1 worker count. Without a
+// system handle (standalone contexts) it falls back to the static cache
+// tier.
+func (c *TaskContext) CacheBlockSeq(id blockmgr.BlockID, op memsim.Op, bytes int64) {
+	c.seqOn(c.cacheTierFor(id), op, bytes)
+}
+
+// cacheTierFor resolves the tier a cache burst for the given block is
+// charged to (see CacheBlockSeq).
+func (c *TaskContext) cacheTierFor(id blockmgr.BlockID) *memsim.Tier {
+	if c.Sys == nil || c.Blocks == nil {
+		return c.CacheTier
+	}
+	if _, ok := c.overlay[id]; ok {
+		return c.Sys.Tier(c.Blocks.LandingTier())
+	}
+	if tid, ok := c.Blocks.TierOf(id); ok {
+		return c.Sys.Tier(tid)
+	}
+	return c.Sys.Tier(c.Blocks.LandingTier())
+}
 
 // Disk charges a blocking HDFS disk transfer of the given size — a stall
 // on a memory-tier-independent resource, so it lands in the CPU budget.

@@ -65,6 +65,18 @@ type CostModel struct {
 	SegmentOpenNS    float64
 	RemoteSegmentNS  float64
 	SegmentMetaBytes int64
+
+	// MigrateBlockNS is the fixed CPU cost of migrating one cached block
+	// between memory tiers (page-table remapping and block-manager
+	// bookkeeping, on the order of a page-migration syscall for the
+	// KB-scale blocks of the scaled datasets); the data movement itself
+	// is charged to the source and destination tiers by the tiering
+	// engine. Only dynamic tiering runs ever pay it.
+	MigrateBlockNS float64
+	// MigrateDispatchNS replaces TaskDispatchNS for migration batches: a
+	// background remap kicked off by a block-manager RPC, far cheaper
+	// than launching a Spark task.
+	MigrateDispatchNS float64
 }
 
 // DefaultCostModel returns the calibrated constants.
@@ -93,5 +105,8 @@ func DefaultCostModel() CostModel {
 		SegmentOpenNS:    9_000,
 		RemoteSegmentNS:  3_000,
 		SegmentMetaBytes: 2048,
+
+		MigrateBlockNS:    1_000, // ~1 us remap per migrated block
+		MigrateDispatchNS: 5_000, // background batch kickoff
 	}
 }

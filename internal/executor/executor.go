@@ -64,7 +64,11 @@ func NewPlacedPool(n, coresEach int, binding numa.Binding, sys *memsim.System,
 	}
 	p := &Pool{sys: sys, placement: placement, binding: binding, cacheCapacity: cacheCapacity}
 	for i := 0; i < n; i++ {
-		p.Executors = append(p.Executors, NewExecutor(i, coresEach, binding, cacheCapacity))
+		ex := NewExecutor(i, coresEach, binding, cacheCapacity)
+		// Blocks land on the placement's cache tier; the dynamic tiering
+		// engine may rebind the landing tier when it attaches.
+		ex.Blocks.SetLandingTier(placement.Cache)
+		p.Executors = append(p.Executors, ex)
 	}
 	p.dead = make([]bool, n)
 	return p
@@ -86,12 +90,14 @@ func (p *Pool) ShuffleTier() *memsim.Tier { return p.sys.Tier(p.placement.Shuffl
 func (p *Pool) CacheTier() *memsim.Tier { return p.sys.Tier(p.placement.Cache) }
 
 // ConfigureContext applies the pool's heap-interleave settings to a task
-// context built over its tiers.
+// context built over its tiers and hands it the memory system so cache
+// bursts can be charged to each block's resident tier.
 func (p *Pool) ConfigureContext(ctx *TaskContext) *TaskContext {
 	if p.placement.HeapSpillFrac > 0 {
 		ctx.HeapSpill = p.sys.Tier(p.placement.HeapSpill)
 		ctx.HeapSpillFrac = p.placement.HeapSpillFrac
 	}
+	ctx.Sys = p.sys
 	return ctx
 }
 
@@ -133,6 +139,9 @@ func (p *Pool) MarkDead(id int) {
 func (p *Pool) Replace(id int) *Executor {
 	old := p.Executors[id]
 	fresh := NewExecutor(id, old.Cores, p.binding, p.cacheCapacity)
+	// The fresh block manager inherits the crashed one's landing tier
+	// (the tiering engine re-attaches its observer separately).
+	fresh.Blocks.SetLandingTier(old.Blocks.LandingTier())
 	p.Executors[id] = fresh
 	if p.dead[id] {
 		p.dead[id] = false

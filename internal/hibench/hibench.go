@@ -16,6 +16,7 @@ import (
 	"repro/internal/numa"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/tiering"
 	"repro/internal/workloads"
 )
 
@@ -49,6 +50,9 @@ type RunSpec struct {
 	// A run whose recovery budget is exhausted returns the job-abort
 	// error instead of a result.
 	Faults *faults.Plan
+	// Tiering enables the dynamic block-migration engine for the run;
+	// nil disables it (see cluster.Conf.Tiering).
+	Tiering *tiering.Config
 	// Seed defaults to 1.
 	Seed int64
 }
@@ -90,8 +94,22 @@ type RunResult struct {
 	// placement studies that split traffic between technologies.
 	NVMCounters memsim.Counters
 	// Engine is a snapshot of the scheduler's engine-level counters,
-	// including the recovery.* family a fault plan drives.
+	// including the recovery.* family a fault plan drives and the
+	// tiering.* gauges when tiering is enabled.
 	Engine map[string]int64
+	// Tiering summarizes the dynamic tiering engine's activity; zero
+	// when the spec leaves tiering disabled.
+	Tiering TieringStats
+}
+
+// TieringStats is the migration activity of one run.
+type TieringStats struct {
+	Policy         string
+	Epochs         int
+	MigratedBlocks int64
+	MigratedBytes  int64
+	// MigrationNS is the virtual time spent in migration stages.
+	MigrationNS float64
 }
 
 // Run executes one experiment cell on a fresh simulated cluster. Under a
@@ -115,6 +133,7 @@ func Run(spec RunSpec) (result RunResult, err error) {
 		TaskParallelism:    spec.TaskParallelism,
 		Faults:             spec.Faults,
 		Seed:               spec.Seed,
+		Tiering:            spec.Tiering,
 	}
 	if err := conf.Validate(); err != nil {
 		return RunResult{}, fmt.Errorf("hibench: %s: %w", spec, err)
@@ -146,5 +165,14 @@ func Run(spec RunSpec) (result RunResult, err error) {
 	res.NVMCounters.Add(app.System().Tier(memsim.Tier2).Counters())
 	res.NVMCounters.Add(app.System().Tier(memsim.Tier3).Counters())
 	res.Engine = app.EngineCounters().Snapshot()
+	if eng := app.Tiering(); eng != nil {
+		res.Tiering = TieringStats{
+			Policy:         eng.PolicyName(),
+			Epochs:         eng.Epochs(),
+			MigratedBlocks: eng.MigratedBlocks(),
+			MigratedBytes:  eng.MigratedBytes(),
+			MigrationNS:    eng.MigrationNS(),
+		}
+	}
 	return res, nil
 }

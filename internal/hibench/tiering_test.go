@@ -1,0 +1,132 @@
+package hibench
+
+import (
+	"testing"
+
+	"repro/internal/executor"
+	"repro/internal/memsim"
+	"repro/internal/tiering"
+	"repro/internal/workloads"
+)
+
+// dcpmCachePlacement is the DRAM-constrained experiment placement: heap
+// and shuffle on local DRAM, the RDD cache on local DCPM.
+func dcpmCachePlacement() *executor.Placement {
+	return &executor.Placement{Heap: memsim.Tier0, Shuffle: memsim.Tier0, Cache: memsim.Tier2}
+}
+
+// The static policy must be completely inert: enabling tiering with it
+// reproduces the untiered run bit-for-bit in every virtual observable.
+func TestStaticTieringByteIdenticalToDisabled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two workloads")
+	}
+	for _, wl := range []string{"pagerank", "als"} {
+		plain := RunSpec{Workload: wl, Size: workloads.Tiny, Tier: memsim.Tier0,
+			Placement: dcpmCachePlacement(), TaskParallelism: 1}
+		static := plain
+		cfg := tiering.DefaultConfig(tiering.Static)
+		static.Tiering = &cfg
+
+		base, err := Run(plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inert, err := Run(static)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Duration != inert.Duration {
+			t.Fatalf("%s: static tiering changed duration: %v vs %v", wl, base.Duration, inert.Duration)
+		}
+		if base.Metrics != inert.Metrics {
+			t.Fatalf("%s: static tiering changed metrics:\n  plain:  %+v\n  static: %+v",
+				wl, base.Metrics, inert.Metrics)
+		}
+		if base.NVMCounters != inert.NVMCounters {
+			t.Fatalf("%s: static tiering changed NVM counters", wl)
+		}
+		if inert.Tiering.MigratedBlocks != 0 || inert.Tiering.MigrationNS != 0 {
+			t.Fatalf("%s: static policy migrated: %+v", wl, inert.Tiering)
+		}
+		if inert.Tiering.Epochs == 0 {
+			t.Fatalf("%s: engine attached but never ticked", wl)
+		}
+	}
+}
+
+// The headline result of results/autotier.md: on the remote-DCPM cache
+// overflow scenario, the watermark policy beats the static baseline
+// end-to-end at a DRAM-constrained capacity point. Guards the policy's
+// economics (landing savings and re-read savings must outweigh the real
+// migration costs) against calibration regressions.
+func TestWatermarkBeatsStaticOnRemoteDCPMOverflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs rf/large twice")
+	}
+	place := &executor.Placement{Heap: memsim.Tier0, Shuffle: memsim.Tier0, Cache: memsim.Tier3}
+	spec := RunSpec{Workload: "rf", Size: workloads.Large, Tier: memsim.Tier0, Placement: place}
+
+	staticCfg := tiering.DefaultConfig(tiering.Static)
+	staticSpec := spec
+	staticSpec.Tiering = &staticCfg
+	st, err := Run(staticSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	footprint := st.Engine["tiering.occupancy.tier3"]
+	if footprint == 0 {
+		t.Fatal("rf/large cached nothing")
+	}
+
+	wmCfg := tiering.DefaultConfig(tiering.Watermark)
+	wmCfg.Slow = memsim.Tier3
+	wmCfg.FastBudgetBytes = footprint / 2
+	wmSpec := spec
+	wmSpec.Tiering = &wmCfg
+	wm, err := Run(wmSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm.Tiering.MigratedBlocks == 0 {
+		t.Fatal("watermark run migrated nothing")
+	}
+	if wm.Duration >= st.Duration {
+		t.Fatalf("watermark (%v) did not beat static (%v) at budget %d",
+			wm.Duration, st.Duration, wmCfg.FastBudgetBytes)
+	}
+}
+
+// A dynamic policy must migrate under a constrained DRAM budget and be
+// bit-for-bit reproducible across runs of the same seed.
+func TestWatermarkTieringDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a workload twice")
+	}
+	cfg := tiering.DefaultConfig(tiering.Watermark)
+	cfg.FastBudgetBytes = 1 << 10 // far below pagerank/tiny's ~4.3 KB cache footprint
+	spec := RunSpec{Workload: "pagerank", Size: workloads.Tiny, Tier: memsim.Tier0,
+		Placement: dcpmCachePlacement(), TaskParallelism: 1, Tiering: &cfg}
+
+	first, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Tiering.MigratedBlocks == 0 {
+		t.Fatal("constrained watermark run migrated nothing")
+	}
+	if first.Duration != second.Duration || first.Metrics != second.Metrics ||
+		first.Tiering != second.Tiering {
+		t.Fatalf("same-seed tiered runs diverged:\n  first:  %v %+v\n  second: %v %+v",
+			first.Duration, first.Tiering, second.Duration, second.Tiering)
+	}
+	// Migration gauges surfaced through the engine counter snapshot.
+	if first.Engine["tiering.migrated_blocks"] != first.Tiering.MigratedBlocks {
+		t.Fatalf("gauge snapshot %d != engine stats %d",
+			first.Engine["tiering.migrated_blocks"], first.Tiering.MigratedBlocks)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"repro/internal/shuffle"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/tiering"
 	"repro/internal/trace"
 )
 
@@ -65,6 +66,9 @@ type Env interface {
 	// FaultPlan is the application's deterministic fault schedule; nil
 	// injects nothing.
 	FaultPlan() *faults.Plan
+	// Tiering is the application's dynamic block-migration engine; nil
+	// disables epoch ticks entirely.
+	Tiering() *tiering.Engine
 }
 
 // Stats accumulates scheduler-level observables across jobs, feeding the
@@ -254,6 +258,13 @@ func (s *Scheduler) runStage(name, category string, parts []int, body func(ctx *
 				End:      k.Now(),
 				Tasks:    len(parts),
 			})
+			// Epoch tick: stage boundaries are the only points residency
+			// may change, so parallel phase-1 compute always reads a
+			// frozen placement. A tick that plans no moves costs zero
+			// virtual time.
+			if eng := s.env.Tiering(); eng != nil {
+				eng.Tick()
+			}
 			return
 		}
 
@@ -394,6 +405,12 @@ func (s *Scheduler) crashExecutor(c faults.Crash) {
 	s.reg.Add("recovery.shuffle_bytes_lost", segBytes)
 	if c.Replace {
 		fresh := pool.Replace(c.Exec)
+		// The replacement's fresh block manager needs the tiering hooks
+		// rebound: a new hotness ledger observing it and the dynamic
+		// landing tier restored.
+		if eng := s.env.Tiering(); eng != nil {
+			eng.AttachExecutor(c.Exec)
+		}
 		s.reg.Add("recovery.executors_replaced", 1)
 		s.advance(sim.Duration(s.env.Cost().ExecLaunchSerialNS))
 		task := executor.StartupTask(pool, fresh, s.env.Cost(), s.env.ShuffleStore(), s.env.Seed())

@@ -34,6 +34,22 @@ func (r *Registry) Add(name string, delta int64) {
 	r.mu.Unlock()
 }
 
+// Set overwrites a named counter with an absolute value — the gauge
+// flavour of Add, for observables that are re-sampled rather than
+// accumulated (per-tier occupancy, watermark levels); no-op on a nil
+// registry.
+func (r *Registry) Set(name string, value int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.counters == nil {
+		r.counters = make(map[string]int64)
+	}
+	r.counters[name] = value
+	r.mu.Unlock()
+}
+
 // Get returns a counter's current value (0 if never written).
 func (r *Registry) Get(name string) int64 {
 	if r == nil {

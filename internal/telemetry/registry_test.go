@@ -26,6 +26,21 @@ func TestRegistryAddGetSnapshot(t *testing.T) {
 	}
 }
 
+func TestRegistrySetIsAbsolute(t *testing.T) {
+	r := NewRegistry()
+	r.Add("tiering.occupancy.tier0", 100)
+	r.Set("tiering.occupancy.tier0", 40) // gauge re-sample overwrites
+	if got := r.Get("tiering.occupancy.tier0"); got != 40 {
+		t.Fatalf("gauge = %d after Set, want 40", got)
+	}
+	r.Set("tiering.occupancy.tier0", 0)
+	if got := r.Get("tiering.occupancy.tier0"); got != 0 {
+		t.Fatalf("gauge = %d after Set(0), want 0", got)
+	}
+	var nilReg *Registry
+	nilReg.Set("x", 1) // must not panic
+}
+
 func TestRegistrySnapshotIsACopy(t *testing.T) {
 	r := NewRegistry()
 	r.Add("a", 1)

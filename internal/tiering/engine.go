@@ -1,0 +1,246 @@
+package tiering
+
+import (
+	"fmt"
+
+	"repro/internal/executor"
+	"repro/internal/memsim"
+	"repro/internal/shuffle"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Engine drives epoch-based block migration for one application. The
+// scheduler calls Tick at stage boundaries (residency is frozen while a
+// stage runs, which is what keeps parallel phase-1 byte-identical); each
+// tick decays the hotness ledgers, asks the policy for a per-executor
+// plan, charges the migration traffic through the staged task-context
+// path, simulates it as a migration stage that advances virtual time,
+// and finally applies the residency changes. A tick that plans no moves
+// costs zero virtual time, so a static-policy run is byte-identical to a
+// run with no engine at all.
+type Engine struct {
+	cfg    Config
+	policy Policy
+	pool   *executor.Pool
+	sys    *memsim.System
+	store  *shuffle.Store
+	cost   executor.CostModel
+	seed   int64
+	reg    *telemetry.Registry
+
+	ledgers  []*Ledger
+	epoch    int
+	lastTick sim.Time
+	plans    []EpochPlan
+
+	migratedBlocks int64
+	migratedBytes  int64
+	migStallNS     float64
+	migCounters    [memsim.NumTiers]memsim.Counters
+}
+
+// NewEngine builds an engine over an application's executor pool and
+// attaches it: every live executor gets a fresh hotness ledger installed
+// as its block manager's observer, and dynamic policies rebind the
+// landing tier to the fast tier (static leaves the placement's landing
+// tier untouched).
+func NewEngine(cfg Config, pool *executor.Pool, store *shuffle.Store,
+	cost executor.CostModel, seed int64) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:     cfg,
+		policy:  NewPolicy(cfg),
+		pool:    pool,
+		sys:     pool.System(),
+		store:   store,
+		cost:    cost,
+		seed:    seed,
+		ledgers: make([]*Ledger, pool.Size()),
+	}
+	for id := range e.ledgers {
+		e.AttachExecutor(id)
+	}
+	return e, nil
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// PolicyName returns the active policy's name.
+func (e *Engine) PolicyName() string { return e.policy.Name() }
+
+// SetRegistry wires the engine's gauges into a telemetry registry (nil
+// disables gauge publishing).
+func (e *Engine) SetRegistry(reg *telemetry.Registry) { e.reg = reg }
+
+// AttachExecutor (re)binds the engine to one executor slot: a fresh
+// ledger becomes the block manager's observer and, for dynamic policies,
+// the landing tier is rebound to the fast tier. Called for every slot at
+// construction and again by the scheduler when a crashed executor is
+// replaced with a fresh block manager.
+func (e *Engine) AttachExecutor(id int) {
+	led := NewLedger()
+	e.ledgers[id] = led
+	blocks := e.pool.Executors[id].Blocks
+	blocks.SetObserver(led)
+	if e.cfg.Dynamic() {
+		blocks.SetLandingTier(e.cfg.Fast)
+	}
+}
+
+// Ledger exposes one executor's hotness ledger (for tests and reports).
+func (e *Engine) Ledger(id int) *Ledger { return e.ledgers[id] }
+
+// Epochs returns the number of ticks so far.
+func (e *Engine) Epochs() int { return e.epoch }
+
+// MigratedBlocks returns the total number of block moves applied.
+func (e *Engine) MigratedBlocks() int64 { return e.migratedBlocks }
+
+// MigratedBytes returns the total bytes moved between tiers.
+func (e *Engine) MigratedBytes() int64 { return e.migratedBytes }
+
+// MigrationNS returns the virtual nanoseconds spent in migration stages.
+func (e *Engine) MigrationNS() float64 { return e.migStallNS }
+
+// MigrationCounters returns the per-tier counter deltas attributable to
+// migration traffic, measured by snapshotting the memory system around
+// each epoch's charge batch.
+func (e *Engine) MigrationCounters() [memsim.NumTiers]memsim.Counters { return e.migCounters }
+
+// Plans returns the recorded migration history, one EpochPlan per tick
+// that moved at least one block.
+func (e *Engine) Plans() []EpochPlan { return e.plans }
+
+// Tick runs one migration epoch. It must be called on the driver
+// goroutine at a stage boundary.
+func (e *Engine) Tick() {
+	e.epoch++
+	k := e.sys.Kernel()
+	now := k.Now()
+	epochSeconds := float64(now-e.lastTick) / 1e9
+	e.lastTick = now
+
+	for _, led := range e.ledgers {
+		led.Decay(e.cfg.DecayFactor)
+	}
+
+	var specs [memsim.NumTiers]memsim.TierSpec
+	for _, id := range memsim.AllTiers() {
+		specs[id] = e.sys.Tier(id).Spec
+	}
+
+	plan := EpochPlan{Epoch: e.epoch, At: now}
+	var tasks []executor.SimTask
+	var batches [][]Move // aligned with execIDs
+	var execIDs []int
+	before := e.sys.Snapshot()
+	for id := 0; id < e.pool.Size(); id++ {
+		if !e.pool.Alive(id) {
+			continue
+		}
+		moves := e.policy.Plan(e.cfg, e.view(id, epochSeconds, specs))
+		if len(moves) == 0 {
+			continue
+		}
+		ex := e.pool.Executors[id]
+		ctx := e.pool.ConfigureContext(executor.NewPlacedTaskContext(ex.ID, ex.ID,
+			e.pool.Tier(), e.pool.ShuffleTier(), e.pool.CacheTier(), e.cost,
+			ex.Blocks, e.store, e.seed))
+		chargeMoves(ctx, e.sys, e.cost, moves)
+		ctx.Commit()
+		tasks = append(tasks, executor.SimTask{Profile: ctx.Profile(), ExecID: ex.ID})
+		execIDs = append(execIDs, id)
+		batches = append(batches, moves)
+		for _, m := range moves {
+			plan.Moves = append(plan.Moves,
+				PlannedMove{Exec: id, ID: m.ID, Bytes: m.Bytes, From: m.From, To: m.To})
+			e.migratedBlocks++
+			e.migratedBytes += m.Bytes
+		}
+	}
+
+	if len(tasks) > 0 {
+		for _, tid := range memsim.AllTiers() {
+			e.migCounters[tid].Add(e.sys.Tier(tid).Counters().Sub(before[tid]))
+		}
+		// Migration batches are background remaps kicked off by a
+		// block-manager RPC, not full Spark task launches: they pay the
+		// (much cheaper) migration dispatch cost instead.
+		migCost := e.cost
+		if migCost.MigrateDispatchNS > 0 {
+			migCost.TaskDispatchNS = migCost.MigrateDispatchNS
+		}
+		start := k.Now()
+		executor.SimulateStage(k, e.pool, tasks, migCost)
+		e.migStallNS += float64(k.Now() - start)
+		// Residency flips only after the movement is charged and timed:
+		// the plan was made against the pre-move state, and the next
+		// stage reads blocks from their new tiers.
+		for i, id := range execIDs {
+			blocks := e.pool.Executors[id].Blocks
+			for _, m := range batches[i] {
+				blocks.SetResidency(m.ID, m.To)
+			}
+		}
+		e.plans = append(e.plans, plan)
+	}
+	e.publishGauges()
+}
+
+// view builds the frozen planning view for one executor.
+func (e *Engine) view(id int, epochSeconds float64, specs [memsim.NumTiers]memsim.TierSpec) View {
+	blocks := e.pool.Executors[id].Blocks
+	led := e.ledgers[id]
+	infos := blocks.Blocks()
+	heats := make([]BlockHeat, len(infos))
+	for i, b := range infos {
+		heats[i] = BlockHeat{BlockInfo: b, Heat: led.Heat(b.ID)}
+	}
+	return View{
+		Blocks:       heats,
+		FastUsed:     blocks.TierUsed(e.cfg.Fast),
+		EpochSeconds: epochSeconds,
+		Specs:        specs,
+	}
+}
+
+// chargeMoves charges one executor's migration batch through the staged
+// task-context path: per block a fixed CPU cost plus a sequential read
+// from the source tier and a sequential write to the destination tier
+// (DCPM's 256 B XPLine write amplification applies through the
+// destination's line size). The context commits the deltas afterwards,
+// exactly like a task.
+func chargeMoves(ctx *executor.TaskContext, sys *memsim.System, cost executor.CostModel, moves []Move) {
+	for _, m := range moves {
+		ctx.CPU(cost.MigrateBlockNS)
+		ctx.TierSeq(sys.Tier(m.From), memsim.Read, m.Bytes)
+		ctx.TierSeq(sys.Tier(m.To), memsim.Write, m.Bytes)
+	}
+}
+
+// publishGauges re-samples the occupancy gauges and migration totals
+// into the telemetry registry.
+func (e *Engine) publishGauges() {
+	if e.reg == nil {
+		return
+	}
+	var occ [memsim.NumTiers]int64
+	for id := 0; id < e.pool.Size(); id++ {
+		if !e.pool.Alive(id) {
+			continue
+		}
+		for _, t := range memsim.AllTiers() {
+			occ[t] += e.pool.Executors[id].Blocks.TierUsed(t)
+		}
+	}
+	for _, t := range memsim.AllTiers() {
+		e.reg.Set(fmt.Sprintf("tiering.occupancy.tier%d", int(t)), occ[t])
+	}
+	e.reg.Set("tiering.epochs", int64(e.epoch))
+	e.reg.Set("tiering.migrated_blocks", e.migratedBlocks)
+	e.reg.Set("tiering.migrated_bytes", e.migratedBytes)
+}

@@ -1,0 +1,67 @@
+package tiering
+
+import "repro/internal/blockmgr"
+
+// heatFloor is the heat below which a decayed entry is dropped from the
+// ledger, bounding its size by the set of recently touched blocks.
+const heatFloor = 1e-9
+
+// Ledger is one executor's hotness ledger: exponentially decayed access
+// counts per cached block, in the style of cri-resource-manager's memtier
+// heat map. It implements blockmgr.Observer and is fed exclusively from
+// the block manager's commit-time callbacks, which all run on the driver
+// goroutine in partition order — the ledger therefore needs no locking
+// and its contents are deterministic for any phase-1 worker count.
+type Ledger struct {
+	heat map[blockmgr.BlockID]float64
+
+	accesses int64
+	puts     int64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger { return &Ledger{heat: make(map[blockmgr.BlockID]float64)} }
+
+var _ blockmgr.Observer = (*Ledger)(nil)
+
+// BlockAccessed bumps the block's heat by one touch.
+func (l *Ledger) BlockAccessed(id blockmgr.BlockID, bytes int64) {
+	l.heat[id]++
+	l.accesses++
+}
+
+// BlockPut resets the block's heat to one touch: a store (or overwrite)
+// rewrites the data, so history from a previous incarnation is stale.
+func (l *Ledger) BlockPut(id blockmgr.BlockID, bytes int64) {
+	l.heat[id] = 1
+	l.puts++
+}
+
+// BlockEvicted forgets an LRU-evicted block.
+func (l *Ledger) BlockEvicted(id blockmgr.BlockID, bytes int64) { delete(l.heat, id) }
+
+// BlockDropped forgets an explicitly removed block.
+func (l *Ledger) BlockDropped(id blockmgr.BlockID, bytes int64) { delete(l.heat, id) }
+
+// Heat returns the block's current heat (0 for unknown blocks).
+func (l *Ledger) Heat(id blockmgr.BlockID) float64 { return l.heat[id] }
+
+// Len returns the number of blocks with recorded heat.
+func (l *Ledger) Len() int { return len(l.heat) }
+
+// Counts returns the lifetime access and put totals.
+func (l *Ledger) Counts() (accesses, puts int64) { return l.accesses, l.puts }
+
+// Decay multiplies every block's heat by factor, dropping entries that
+// fall below the floor. Each entry is updated independently, so the map
+// iteration order cannot influence the result.
+func (l *Ledger) Decay(factor float64) {
+	for id, h := range l.heat {
+		h *= factor
+		if h < heatFloor {
+			delete(l.heat, id)
+		} else {
+			l.heat[id] = h
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package tiering
+
+import (
+	"testing"
+
+	"repro/internal/blockmgr"
+)
+
+func TestLedgerHeatLifecycle(t *testing.T) {
+	l := NewLedger()
+	a := blockmgr.BlockID{RDD: 1, Partition: 0}
+	b := blockmgr.BlockID{RDD: 1, Partition: 1}
+
+	l.BlockPut(a, 100)
+	if got := l.Heat(a); got != 1 {
+		t.Fatalf("heat after put = %v, want 1", got)
+	}
+	l.BlockAccessed(a, 100)
+	l.BlockAccessed(a, 100)
+	if got := l.Heat(a); got != 3 {
+		t.Fatalf("heat after two accesses = %v, want 3", got)
+	}
+
+	// Overwrite resets: a re-put block starts a fresh history.
+	l.BlockPut(a, 100)
+	if got := l.Heat(a); got != 1 {
+		t.Fatalf("heat after overwrite = %v, want 1", got)
+	}
+
+	l.BlockPut(b, 50)
+	l.BlockEvicted(b, 50)
+	if got := l.Heat(b); got != 0 {
+		t.Fatalf("heat after eviction = %v, want 0", got)
+	}
+	l.BlockPut(b, 50)
+	l.BlockDropped(b, 50)
+	if got, n := l.Heat(b), l.Len(); got != 0 || n != 1 {
+		t.Fatalf("after drop: heat=%v len=%d, want 0 and 1", got, n)
+	}
+
+	acc, puts := l.Counts()
+	if acc != 2 || puts != 4 {
+		t.Fatalf("counts = (%d accesses, %d puts), want (2, 4)", acc, puts)
+	}
+}
+
+func TestLedgerDecay(t *testing.T) {
+	l := NewLedger()
+	a := blockmgr.BlockID{RDD: 2, Partition: 0}
+	l.BlockPut(a, 10)
+	l.BlockAccessed(a, 10)
+	l.Decay(0.5)
+	if got := l.Heat(a); got != 1 {
+		t.Fatalf("heat after decay = %v, want 1", got)
+	}
+	// Repeated decay eventually drops the entry entirely.
+	for i := 0; i < 64; i++ {
+		l.Decay(0.5)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("ledger still holds %d entries after deep decay", l.Len())
+	}
+	// Decay with factor 0 forgets everything immediately.
+	l.BlockPut(a, 10)
+	l.Decay(0)
+	if l.Len() != 0 {
+		t.Fatal("decay(0) did not clear the ledger")
+	}
+}

@@ -1,0 +1,151 @@
+package tiering
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/blockmgr"
+	"repro/internal/memsim"
+)
+
+// BlockHeat pairs one resident block with its ledger heat.
+type BlockHeat struct {
+	blockmgr.BlockInfo
+	Heat float64
+}
+
+// Move is one planned block migration on one executor.
+type Move struct {
+	ID    blockmgr.BlockID
+	Bytes int64
+	From  memsim.TierID
+	To    memsim.TierID
+}
+
+// View is the frozen per-executor state a policy plans over at an epoch
+// tick: the resident blocks in block-id order with their decayed heat,
+// the bytes currently on the fast tier, the epoch's virtual duration and
+// the tier specs (for bandwidth budgets). Policies are pure functions of
+// a View and the Config, which is what makes plans deterministic and
+// independently replayable.
+type View struct {
+	Blocks       []BlockHeat // ordered by block id
+	FastUsed     int64       // bytes resident on Config.Fast
+	EpochSeconds float64     // virtual seconds since the previous tick
+	Specs        [memsim.NumTiers]memsim.TierSpec
+}
+
+// Policy plans migrations for one executor at an epoch tick. Plan must
+// not mutate the view; the engine charges and applies the moves.
+type Policy interface {
+	Name() string
+	Plan(cfg Config, v View) []Move
+}
+
+// NewPolicy returns the policy implementation for a validated config.
+func NewPolicy(cfg Config) Policy {
+	switch cfg.Policy {
+	case Static:
+		return staticPolicy{}
+	case Watermark:
+		return watermarkPolicy{}
+	case BandwidthAware:
+		return bandwidthPolicy{}
+	}
+	panic(fmt.Sprintf("tiering: unknown policy %q", cfg.Policy))
+}
+
+// staticPolicy never moves anything.
+type staticPolicy struct{}
+
+func (staticPolicy) Name() string             { return string(Static) }
+func (staticPolicy) Plan(Config, View) []Move { return nil }
+
+// watermarkPolicy keeps fast-tier occupancy inside the watermark band.
+type watermarkPolicy struct{}
+
+func (watermarkPolicy) Name() string                   { return string(Watermark) }
+func (watermarkPolicy) Plan(cfg Config, v View) []Move { return planWatermark(cfg, v) }
+
+// planWatermark demotes coldest-first above the high watermark and
+// promotes hottest-first below the low watermark. Candidates are drawn
+// from the id-ordered view and sorted stably by heat, so equal-heat ties
+// break by block id — the plan is identical across runs by construction.
+func planWatermark(cfg Config, v View) []Move {
+	high := int64(float64(cfg.FastBudgetBytes) * cfg.HighWaterFrac)
+	low := int64(float64(cfg.FastBudgetBytes) * cfg.LowWaterFrac)
+	fastUsed := v.FastUsed
+
+	if fastUsed > high {
+		cands := onTier(v.Blocks, cfg.Fast)
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].Heat < cands[j].Heat })
+		var moves []Move
+		for _, b := range cands {
+			if fastUsed <= low {
+				break
+			}
+			moves = append(moves, Move{ID: b.ID, Bytes: b.Bytes, From: cfg.Fast, To: cfg.Slow})
+			fastUsed -= b.Bytes
+		}
+		return moves
+	}
+
+	if fastUsed < low {
+		cands := onTier(v.Blocks, cfg.Slow)
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].Heat > cands[j].Heat })
+		var moves []Move
+		for _, b := range cands {
+			if b.Heat < cfg.MinHeat {
+				break // sorted by heat: everything after is colder
+			}
+			if fastUsed+b.Bytes > high {
+				continue // too big for the remaining headroom; try smaller
+			}
+			moves = append(moves, Move{ID: b.ID, Bytes: b.Bytes, From: cfg.Slow, To: cfg.Fast})
+			fastUsed += b.Bytes
+		}
+		return moves
+	}
+	return nil
+}
+
+// bandwidthPolicy is the watermark plan truncated to a per-destination
+// migration byte budget for the epoch.
+type bandwidthPolicy struct{}
+
+func (bandwidthPolicy) Name() string { return string(BandwidthAware) }
+
+func (bandwidthPolicy) Plan(cfg Config, v View) []Move {
+	moves := planWatermark(cfg, v)
+	if len(moves) == 0 {
+		return nil
+	}
+	var remaining [memsim.NumTiers]float64
+	for _, id := range memsim.AllTiers() {
+		remaining[id] = cfg.MigrationBWFrac * v.Specs[id].BandwidthBytes * v.EpochSeconds
+	}
+	// Truncate rather than skip: the plan is priority-ordered (coldest
+	// demotions / hottest promotions first) and skipping ahead to smaller
+	// blocks would subvert that order.
+	var out []Move
+	for _, m := range moves {
+		if float64(m.Bytes) > remaining[m.To] {
+			break
+		}
+		remaining[m.To] -= float64(m.Bytes)
+		out = append(out, m)
+	}
+	return out
+}
+
+// onTier filters the id-ordered block view down to one tier, preserving
+// order.
+func onTier(blocks []BlockHeat, t memsim.TierID) []BlockHeat {
+	var out []BlockHeat
+	for _, b := range blocks {
+		if b.Tier == t {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package tiering
+
+import (
+	"testing"
+
+	"repro/internal/blockmgr"
+	"repro/internal/memsim"
+)
+
+// testView builds a view over synthetic blocks, all 100 bytes, with the
+// given residency and heat, keeping block ids in insertion order.
+func testView(cfg Config, heats []float64, tiers []memsim.TierID) View {
+	v := View{EpochSeconds: 1, Specs: memsim.DefaultSpecs()}
+	for i := range heats {
+		b := BlockHeat{Heat: heats[i]}
+		b.ID = blockmgr.BlockID{RDD: 1, Partition: i}
+		b.Bytes = 100
+		b.Tier = tiers[i]
+		v.Blocks = append(v.Blocks, b)
+		if tiers[i] == cfg.Fast {
+			v.FastUsed += 100
+		}
+	}
+	return v
+}
+
+func dynConfig(policy PolicyKind, budget int64) Config {
+	cfg := DefaultConfig(policy)
+	cfg.FastBudgetBytes = budget
+	return cfg
+}
+
+func TestStaticPlansNothing(t *testing.T) {
+	cfg := DefaultConfig(Static)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	v := testView(dynConfig(Watermark, 100), []float64{0, 0, 0},
+		[]memsim.TierID{memsim.Tier0, memsim.Tier0, memsim.Tier0})
+	if moves := NewPolicy(cfg).Plan(cfg, v); moves != nil {
+		t.Fatalf("static policy planned %v", moves)
+	}
+}
+
+func TestWatermarkDemotesColdestFirst(t *testing.T) {
+	// Budget 400: high = 360, low = 280. Six 100 B fast blocks = 600 B
+	// used, so demote until <= 280, i.e. 4 blocks, coldest first with id
+	// tie-breaks.
+	cfg := dynConfig(Watermark, 400)
+	heats := []float64{5, 1, 1, 0, 2, 9}
+	tiers := make([]memsim.TierID, 6)
+	for i := range tiers {
+		tiers[i] = cfg.Fast
+	}
+	moves := NewPolicy(cfg).Plan(cfg, testView(cfg, heats, tiers))
+	wantParts := []int{3, 1, 2, 4} // heat 0, then 1 (id 1 before id 2), then 2
+	if len(moves) != len(wantParts) {
+		t.Fatalf("planned %d demotions %v, want %d", len(moves), moves, len(wantParts))
+	}
+	for i, m := range moves {
+		if m.ID.Partition != wantParts[i] || m.From != cfg.Fast || m.To != cfg.Slow {
+			t.Fatalf("move %d = %+v, want partition %d fast->slow", i, m, wantParts[i])
+		}
+	}
+}
+
+func TestWatermarkPromotesHottestThatFit(t *testing.T) {
+	// Budget 1000: high = 900, low = 700. One 100 B fast block leaves
+	// 600 B of headroom below high; promote hottest slow blocks with
+	// heat >= MinHeat (0.25).
+	cfg := dynConfig(Watermark, 1000)
+	heats := []float64{1, 4, 3, 0.1, 2}
+	tiers := []memsim.TierID{cfg.Fast, cfg.Slow, cfg.Slow, cfg.Slow, cfg.Slow}
+	moves := NewPolicy(cfg).Plan(cfg, testView(cfg, heats, tiers))
+	wantParts := []int{1, 2, 4} // heat 4, 3, 2; partition 3 is below MinHeat
+	if len(moves) != len(wantParts) {
+		t.Fatalf("planned %d promotions %v, want %d", len(moves), moves, len(wantParts))
+	}
+	for i, m := range moves {
+		if m.ID.Partition != wantParts[i] || m.From != cfg.Slow || m.To != cfg.Fast {
+			t.Fatalf("move %d = %+v, want partition %d slow->fast", i, m, wantParts[i])
+		}
+	}
+}
+
+func TestWatermarkInsideBandIsQuiet(t *testing.T) {
+	// Budget 400: 300 B used sits between low (280) and high (360).
+	cfg := dynConfig(Watermark, 400)
+	heats := []float64{1, 1, 1}
+	tiers := []memsim.TierID{cfg.Fast, cfg.Fast, cfg.Fast}
+	if moves := NewPolicy(cfg).Plan(cfg, testView(cfg, heats, tiers)); moves != nil {
+		t.Fatalf("in-band view planned %v", moves)
+	}
+}
+
+func TestBandwidthAwareTruncatesPlan(t *testing.T) {
+	cfg := dynConfig(BandwidthAware, 400)
+	heats := []float64{0, 0, 0, 0, 0, 0}
+	tiers := make([]memsim.TierID, 6)
+	for i := range tiers {
+		tiers[i] = cfg.Fast
+	}
+	v := testView(cfg, heats, tiers)
+	// Watermark alone would demote 4 blocks (400 B). Cap the epoch's
+	// budget toward the slow tier at ~214 B: frac x 10.7 GB/s x 1 µs.
+	v.EpochSeconds = 1e-6
+	cfg.MigrationBWFrac = 0.02
+	moves := NewPolicy(cfg).Plan(cfg, v)
+	if len(moves) != 2 {
+		t.Fatalf("bandwidth-aware planned %d moves %v, want 2", len(moves), moves)
+	}
+	// A zero-length epoch allows no migration at all.
+	v.EpochSeconds = 0
+	if moves := NewPolicy(cfg).Plan(cfg, v); len(moves) != 0 {
+		t.Fatalf("zero epoch planned %v", moves)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := dynConfig(Watermark, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Policy: "lru"},
+		dynConfig(Watermark, 0),
+		func() Config { c := dynConfig(Watermark, 1); c.Slow = c.Fast; return c }(),
+		func() Config { c := dynConfig(Watermark, 1); c.DecayFactor = 1; return c }(),
+		func() Config { c := dynConfig(Watermark, 1); c.LowWaterFrac = 0.95; return c }(),
+		func() Config { c := dynConfig(BandwidthAware, 1); c.MigrationBWFrac = 0; return c }(),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %d (%+v) validated", i, c)
+		}
+	}
+	// Static ignores the dynamic knobs entirely.
+	if err := (Config{Policy: Static}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package tiering implements online hotness-driven migration of cached
+// RDD blocks across the DRAM/DCPM memory tiers — the direction the
+// paper's §IV-G points at when it asks for "the optimal memory tier per
+// access type", taken one step further: instead of a static per-category
+// placement, a migration policy observes per-block access frequency and
+// recency and moves individual blocks between a small fast tier (DRAM)
+// and a large slow tier (DCPM) while the application runs.
+//
+// The subsystem has four parts:
+//
+//   - A hotness Ledger per executor, fed by the block manager's Observer
+//     hook: every counted cache hit and store bumps a block's heat, and
+//     heat decays geometrically at every epoch tick (the
+//     cri-resource-manager memtier heat model).
+//   - A Policy that, at each epoch, plans migrations from a frozen view
+//     of one executor's blocks and their heat. Policies are pure
+//     functions of the view, so plans are deterministic.
+//   - An Engine that owns the ledgers, asks the policy for plans at
+//     epoch ticks (the scheduler calls Tick between stages), charges the
+//     real data movement to the memory system through the staged
+//     task-context path, and applies residency changes to the block
+//     managers.
+//   - A recorded EpochPlan history that ReplayPlan can re-price
+//     independently, pinning the engine's accounting in tests.
+//
+// Migration is never free: a demotion streams the block out of the fast
+// tier and writes it to DCPM at 256 B XPLine granularity (write
+// amplification included), pays a fixed per-block CPU cost, and occupies
+// a simulated migration task that advances virtual time. Policies can
+// therefore lose — exactly the trade-off the paper's bandwidth and
+// write-asymmetry takeaways predict.
+package tiering
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+)
+
+// PolicyKind names a migration policy.
+type PolicyKind string
+
+const (
+	// Static never migrates and leaves the landing tier untouched: the
+	// pre-tiering behaviour, kept as the regression baseline. A run with
+	// the static policy is byte-identical to one with no engine at all.
+	Static PolicyKind = "static"
+	// Watermark lands new blocks on the fast tier and keeps its
+	// occupancy between a low and a high watermark: above the high mark
+	// the coldest blocks are demoted until the low mark is reached;
+	// below the low mark the hottest slow blocks are promoted back. The
+	// cri-resource-manager memtier discipline.
+	Watermark PolicyKind = "watermark"
+	// BandwidthAware is Watermark with a per-epoch migration budget: the
+	// bytes moved toward each destination tier are capped at a fraction
+	// of that tier's peak bandwidth times the epoch's virtual duration,
+	// so migration traffic cannot crowd out the application's.
+	BandwidthAware PolicyKind = "bandwidth-aware"
+)
+
+// AllPolicies lists the policy kinds in sweep order.
+func AllPolicies() []PolicyKind { return []PolicyKind{Static, Watermark, BandwidthAware} }
+
+// Valid reports whether the kind is one of the defined policies.
+func (p PolicyKind) Valid() bool {
+	switch p {
+	case Static, Watermark, BandwidthAware:
+		return true
+	}
+	return false
+}
+
+// Config parameterizes the tiering engine.
+type Config struct {
+	// Policy selects the migration policy.
+	Policy PolicyKind
+
+	// Fast and Slow are the two tiers dynamic policies move blocks
+	// between. Blocks land on Fast; cold blocks are demoted to Slow.
+	Fast memsim.TierID
+	Slow memsim.TierID
+
+	// FastBudgetBytes is the per-executor byte budget cached blocks may
+	// occupy on the fast tier — the knob the capacity sweep turns to
+	// model a DRAM-constrained machine. Required (> 0) for dynamic
+	// policies.
+	FastBudgetBytes int64
+
+	// DecayFactor multiplies every block's heat at each epoch tick, in
+	// [0, 1): 0 keeps only the last epoch's accesses, values near 1
+	// remember long histories.
+	DecayFactor float64
+
+	// HighWaterFrac and LowWaterFrac position the watermarks as
+	// fractions of FastBudgetBytes, with 0 < low < high <= 1.
+	HighWaterFrac float64
+	LowWaterFrac  float64
+
+	// MinHeat is the minimum heat a slow block needs to be promoted;
+	// blocks colder than this stay put even when fast capacity is free.
+	MinHeat float64
+
+	// MigrationBWFrac caps, for the bandwidth-aware policy, the bytes
+	// migrated toward a destination tier per epoch at this fraction of
+	// the tier's peak bandwidth times the epoch's virtual duration.
+	MigrationBWFrac float64
+}
+
+// DefaultConfig returns the calibrated defaults for a policy: DRAM
+// (Tier 0) over local DCPM (Tier 2), half-life heat decay, a 70–90%
+// watermark band and a 10% migration bandwidth budget. FastBudgetBytes
+// is left zero — capacity is experiment-specific and must be set by the
+// caller for dynamic policies.
+func DefaultConfig(policy PolicyKind) Config {
+	return Config{
+		Policy:          policy,
+		Fast:            memsim.Tier0,
+		Slow:            memsim.Tier2,
+		DecayFactor:     0.5,
+		HighWaterFrac:   0.9,
+		LowWaterFrac:    0.7,
+		MinHeat:         0.25,
+		MigrationBWFrac: 0.05,
+	}
+}
+
+// Dynamic reports whether the policy ever migrates (everything except
+// Static).
+func (c Config) Dynamic() bool { return c.Policy != Static }
+
+// Validate rejects inconsistent configurations.
+func (c Config) Validate() error {
+	if !c.Policy.Valid() {
+		return fmt.Errorf("tiering: unknown policy %q", c.Policy)
+	}
+	if !c.Dynamic() {
+		return nil
+	}
+	switch {
+	case !c.Fast.Valid():
+		return fmt.Errorf("tiering: invalid fast tier %d", c.Fast)
+	case !c.Slow.Valid():
+		return fmt.Errorf("tiering: invalid slow tier %d", c.Slow)
+	case c.Fast == c.Slow:
+		return fmt.Errorf("tiering: fast and slow tier are both %s", c.Fast)
+	case c.FastBudgetBytes <= 0:
+		return fmt.Errorf("tiering: dynamic policy %q needs FastBudgetBytes > 0", c.Policy)
+	case c.DecayFactor < 0 || c.DecayFactor >= 1:
+		return fmt.Errorf("tiering: decay factor %v out of [0,1)", c.DecayFactor)
+	case c.LowWaterFrac <= 0 || c.HighWaterFrac > 1 || c.LowWaterFrac >= c.HighWaterFrac:
+		return fmt.Errorf("tiering: watermarks low=%v high=%v need 0 < low < high <= 1",
+			c.LowWaterFrac, c.HighWaterFrac)
+	case c.MinHeat < 0:
+		return fmt.Errorf("tiering: negative MinHeat %v", c.MinHeat)
+	}
+	if c.Policy == BandwidthAware && (c.MigrationBWFrac <= 0 || c.MigrationBWFrac > 1) {
+		return fmt.Errorf("tiering: migration bandwidth fraction %v out of (0,1]", c.MigrationBWFrac)
+	}
+	return nil
+}
