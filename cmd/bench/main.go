@@ -10,14 +10,17 @@
 //	bench -label after  -iters 3 -out BENCH_wallclock.json -md results/wallclock.md
 //
 // The -md report renders before/after deltas once both labels exist.
-// CI runs the harness with -iters 1 and -max-reduce-allocs as an
-// allocation-regression tripwire on the reduceByKey micro-bench.
+// CI runs the harness with -iters 1 and -max-allocs as an
+// allocation-regression tripwire on the chunk-shuffle hot paths:
+//
+//	bench -iters 1 -max-allocs 'micro/reduceByKey=10000,workload/sort=50000'
 //
 // Usage:
 //
 //	bench [-label after] [-iters 3] [-run substring]
 //	      [-out BENCH_wallclock.json] [-md results/wallclock.md]
-//	      [-max-reduce-allocs N] [-cpuprofile f] [-memprofile f]
+//	      [-max-allocs case=N,...] [-max-reduce-allocs N]
+//	      [-cpuprofile f] [-memprofile f]
 package main
 
 import (
@@ -54,8 +57,10 @@ func main() {
 	out := flag.String("out", "BENCH_wallclock.json", "accumulate results into this JSON file ('' = stdout only)")
 	md := flag.String("md", "", "write a before/after markdown report to this path")
 	note := flag.String("note", "", "free-form note stored with the run (e.g. commit subject)")
+	maxAllocs := flag.String("max-allocs", "",
+		"comma-separated case=N allocs/op ceilings; fail if any measured case exceeds its ceiling")
 	maxReduceAllocs := flag.Int64("max-reduce-allocs", 0,
-		"fail if micro/reduceByKey allocs/op exceeds this ceiling (0 = off)")
+		"legacy alias for -max-allocs micro/reduceByKey=N (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -126,14 +131,46 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%s wrote %s\n", sw.Stamp(), *md)
 	}
 
+	ceilings, err := parseCeilings(*maxAllocs)
+	if err != nil {
+		fatal(err)
+	}
 	if *maxReduceAllocs > 0 {
+		ceilings["micro/reduceByKey"] = *maxReduceAllocs
+	}
+	if len(ceilings) > 0 {
 		for _, r := range results {
-			if r.Name == "micro/reduceByKey" && r.AllocsPerOp > *maxReduceAllocs {
-				fatal(fmt.Errorf("micro/reduceByKey allocs/op %d exceeds ceiling %d: the boxing crept back",
-					r.AllocsPerOp, *maxReduceAllocs))
+			ceiling, ok := ceilings[r.Name]
+			if !ok {
+				continue
 			}
+			if r.AllocsPerOp > ceiling {
+				fatal(fmt.Errorf("%s allocs/op %d exceeds ceiling %d: per-record allocation crept back into the chunk path",
+					r.Name, r.AllocsPerOp, ceiling))
+			}
+			fmt.Fprintf(os.Stderr, "%s ceiling ok: %s %d <= %d allocs/op\n", sw.Stamp(), r.Name, r.AllocsPerOp, ceiling)
 		}
 	}
+}
+
+// parseCeilings parses "case=N,case=N" into a ceiling map.
+func parseCeilings(s string) (map[string]int64, error) {
+	out := map[string]int64{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, num, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("malformed -max-allocs entry %q (want case=N)", part)
+		}
+		var n int64
+		if _, err := fmt.Sscanf(num, "%d", &n); err != nil || n <= 0 {
+			return nil, fmt.Errorf("malformed -max-allocs ceiling %q (want a positive integer)", num)
+		}
+		out[name] = n
+	}
+	return out, nil
 }
 
 // load reads an existing results file, or starts a fresh one.

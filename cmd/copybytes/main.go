@@ -1,0 +1,86 @@
+// Command copybytes runs the shuffle-copy virtual experiment enabled by
+// the columnar chunk shuffle: with map-output chunks landing on DCPM
+// (Tier 2) it reports, per workload and executor count, how many chunk
+// bytes the shuffle served by reference instead of copying — the copy
+// traffic a segment-copying shuffle would have issued against the
+// write-amplified DCPM media. The copy ledger is observational, so the
+// Duration column matches the frozen virtual-time ledger exactly.
+//
+// Usage:
+//
+//	copybytes [-o results/shuffle_copy.md] [-workloads sort,bayes] [-size small] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	out := flag.String("o", "", "write the report to this file instead of stdout")
+	workloadsFlag := flag.String("workloads", "", "comma-separated workload names (default: the shuffle-heavy set)")
+	sizeFlag := flag.String("size", "small", "dataset size: tiny, small, large")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	var size workloads.Size
+	switch *sizeFlag {
+	case "tiny":
+		size = workloads.Tiny
+	case "small":
+		size = workloads.Small
+	case "large":
+		size = workloads.Large
+	default:
+		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeFlag)
+		os.Exit(2)
+	}
+
+	names := core.CopyStudyWorkloads()
+	if *workloadsFlag != "" {
+		names = strings.Split(*workloadsFlag, ",")
+		for _, n := range names {
+			if _, err := workloads.ByName(n); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	study := core.RunCopyStudy(names, size, *seed)
+	fmt.Fprintln(w, "# Shuffle copy bytes saved per tier")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Map outputs are block-manager-owned chunk sets; a reduce task")
+	fmt.Fprintln(w, "co-resident with the writer reads them by reference, so those bytes")
+	fmt.Fprintln(w, "never cross the shuffle tier a second time. With the shuffle placed")
+	fmt.Fprintln(w, "on DCPM, `bytes by-ref` is the copy traffic spared from the")
+	fmt.Fprintln(w, "write-amplified media (256B XPLines); `bytes copied` is what remote")
+	fmt.Fprintln(w, "reads still pull across executors.")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "```")
+	study.Table().Render(w)
+	fmt.Fprintln(w, "```")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Reading the table: at 1 executor every reduce is co-resident and the")
+	fmt.Fprintln(w, "chunk shuffle saves 100% of the copy bytes (the shared-pool best")
+	fmt.Fprintln(w, "case); at 4 executors roughly 1/4 of chunk reads stay local. The")
+	fmt.Fprintln(w, "`time [s]` column is the frozen virtual ledger — identical with or")
+	fmt.Fprintln(w, "without the copy ledger, which never feeds time or energy.")
+}

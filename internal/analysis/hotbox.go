@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -12,12 +13,24 @@ import (
 // rdd.PartitionOf, each taking `any` — costs one heap allocation per
 // record. Hot paths must resolve a Sizer/Hasher once per RDD operation
 // (SizerFor, PairSizer, HasherFor, NewHashPartitioner) and call the
-// specialized value per record. The CI wall-clock harness (cmd/bench)
-// enforces the same invariant dynamically via its allocs/op ceiling;
-// this analyzer catches the regression before it runs.
+// specialized value per record.
+//
+// The columnar chunk path adds two more per-record shapes the analyzer
+// flags in the same tainted call graphs:
+//
+//   - an explicit conversion to an interface type inside a loop body
+//     (e.g. any(rec) per iteration) — each conversion boxes its operand
+//     on the heap, exactly the cost the chunk builders exist to avoid;
+//   - a loop whose entire body copies one element between slices,
+//     dst = append(dst, src[i]) — chunk columns move by reference or by
+//     one bulk append(dst, src...)/copy(dst, src), never element-wise.
+//
+// The CI wall-clock harness (cmd/bench) enforces the same invariant
+// dynamically via its allocs/op ceilings; this analyzer catches the
+// regression before it runs.
 var Hotbox = &Analyzer{
 	Name: "hotbox",
-	Doc:  "forbid boxing SizeOf/HashAny/PartitionOf calls in task-compute call graphs",
+	Doc:  "forbid boxing calls, in-loop interface boxing and element copy loops in task-compute call graphs",
 	Run:  runHotbox,
 }
 
@@ -131,9 +144,19 @@ func runHotbox(p *Pass) {
 }
 
 // hbCollectBody records the node's static callees, interface-method call
-// names and boxing-API calls, stopping at nested function literals (which
-// become child nodes).
+// names, boxing-API calls, in-loop interface conversions and element copy
+// loops, stopping at nested function literals (which become child nodes).
 func hbCollectBody(pkg *Package, body ast.Node, node *hbNode, all *[]*hbNode) {
+	loops := hbLoopBodies(body)
+	inLoop := func(pos token.Pos) bool {
+		for _, b := range loops {
+			if b.Pos() <= pos && pos < b.End() {
+				return true
+			}
+		}
+		return false
+	}
+	hbFlagCopyLoops(pkg, node, loops)
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.FuncLit:
@@ -146,6 +169,20 @@ func hbCollectBody(pkg *Package, body ast.Node, node *hbNode, all *[]*hbNode) {
 			*all = append(*all, child)
 			return false
 		case *ast.CallExpr:
+			if tv, ok := pkg.Info.Types[x.Fun]; ok && tv.IsType() {
+				// A conversion, not a call: boxing if the target is an
+				// interface and the operand is a concrete value. Only the
+				// in-loop, per-iteration form is a hot-path bug.
+				if types.IsInterface(tv.Type) && len(x.Args) == 1 && inLoop(x.Pos()) {
+					if atv, ok := pkg.Info.Types[x.Args[0]]; ok && atv.IsValue() && !types.IsInterface(atv.Type) {
+						node.bad = append(node.bad, scBadCall{
+							pos: x.Pos(),
+							msg: "per-record interface conversion in a loop in task-compute code (one allocation per iteration): hoist the conversion out of the loop or keep the chunk path monomorphic",
+						})
+					}
+				}
+				return true
+			}
 			fn := calleeFunc(pkg.Info, x)
 			if fn == nil {
 				return true
@@ -170,4 +207,73 @@ func hbCollectBody(pkg *Package, body ast.Node, node *hbNode, all *[]*hbNode) {
 		}
 		return true
 	})
+}
+
+// hbLoopBodies returns the body block of every for/range statement in
+// this function body. Nested function literals are excluded: their loops
+// belong to the child nodes built for them.
+func hbLoopBodies(body ast.Node) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			out = append(out, x.Body)
+		case *ast.RangeStmt:
+			out = append(out, x.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// hbFlagCopyLoops flags loops whose entire body moves one slice element
+// per iteration — dst = append(dst, src[i]) — which a bulk
+// append(dst, src...) or copy(dst, src) replaces with a single memmove.
+// Conditional appends (filters) and map-indexed collection loops have no
+// bulk form and are left alone.
+func hbFlagCopyLoops(pkg *Package, node *hbNode, loops []*ast.BlockStmt) {
+	for _, b := range loops {
+		if len(b.List) != 1 {
+			continue
+		}
+		as, ok := b.List[0].(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			continue
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 || call.Ellipsis != token.NoPos {
+			continue
+		}
+		fid, ok := call.Fun.(*ast.Ident)
+		if !ok || fid.Name != "append" {
+			continue
+		}
+		if _, ok := pkg.Info.Uses[fid].(*types.Builtin); !ok {
+			continue
+		}
+		idx, ok := call.Args[1].(*ast.IndexExpr)
+		if !ok {
+			continue
+		}
+		if tv, ok := pkg.Info.Types[idx.X]; ok {
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Array:
+			default:
+				continue // map/generic index: no bulk copy exists
+			}
+		} else {
+			continue
+		}
+		dst, ok1 := as.Lhs[0].(*ast.Ident)
+		src, ok2 := call.Args[0].(*ast.Ident)
+		if !ok1 || !ok2 || dst.Name != src.Name {
+			continue
+		}
+		node.bad = append(node.bad, scBadCall{
+			pos: as.Pos(),
+			msg: "element-at-a-time copy loop in task-compute code: append(dst, src...) or copy(dst, src) moves the whole column in one step",
+		})
+	}
 }

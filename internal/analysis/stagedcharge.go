@@ -12,7 +12,7 @@ import (
 // and must never mutate shared simulation state directly. Tier counters
 // go through TaskContext's BurstDelta-based staging, block-manager
 // operations through GetBlock/PutBlock (Peek + replay), and shuffle
-// writes through PutShuffleSegment — all published by Commit in partition
+// writes through PutShuffleChunks — all published by Commit in partition
 // order. TaskContext's own methods are the sanctioned staging layer and
 // are exempt.
 var StagedCharge = &Analyzer{
@@ -55,7 +55,7 @@ var forbiddenInTask = map[string]map[string]map[string]string{
 	},
 	shufflePath: {
 		"Store": {
-			"Put":                "use TaskContext.PutShuffleSegment: segments publish at commit, before downstream stages",
+			"PutChunks":          "use TaskContext.PutShuffleChunks: chunk sets publish at commit, before downstream stages",
 			"DropShuffle":        "shuffle cleanup belongs to the driver between jobs",
 			"DeregisterExecutor": "map-output loss is the scheduler's crash path (crashExecutor), never task compute",
 		},

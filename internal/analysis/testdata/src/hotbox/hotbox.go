@@ -3,6 +3,8 @@
 package hotbox
 
 import (
+	"sort"
+
 	"repro/internal/executor"
 	"repro/internal/rdd"
 )
@@ -65,4 +67,69 @@ func allowedFallback(ctx *executor.TaskContext, k string) uint64 {
 	_ = ctx
 	//simlint:allow hotbox fixture: demonstrates a suppressed boxing call
 	return rdd.HashAny(k)
+}
+
+// badBoxLoop explicitly boxes each record inside the loop: one heap
+// allocation per iteration with no measurement call in sight.
+func badBoxLoop(ctx *executor.TaskContext, vals []int64) []any {
+	_ = ctx
+	out := make([]any, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, any(v))
+	}
+	return out
+}
+
+// badCopyLoop copies one element per iteration; a bulk append moves the
+// whole column in one step.
+func badCopyLoop(ctx *executor.TaskContext, src []int64) []int64 {
+	_ = ctx
+	var dst []int64
+	for i := range src {
+		dst = append(dst, src[i])
+	}
+	return dst
+}
+
+// goodBulkCopy is the sanctioned bulk form.
+func goodBulkCopy(ctx *executor.TaskContext, src []int64) []int64 {
+	_ = ctx
+	var dst []int64
+	dst = append(dst, src...)
+	return dst
+}
+
+// goodFilterLoop appends conditionally — not a pure element copy, so no
+// bulk form exists and it stays clean.
+func goodFilterLoop(ctx *executor.TaskContext, src []int64) []int64 {
+	_ = ctx
+	var dst []int64
+	for i := range src {
+		if src[i] > 0 {
+			dst = append(dst, src[i])
+		}
+	}
+	return dst
+}
+
+// goodMapValues collects map values — maps have no bulk copy, so the
+// single-statement loop is fine (sorted afterwards for determinism).
+func goodMapValues(ctx *executor.TaskContext, m map[int]int64) []int64 {
+	_ = ctx
+	var dst []int64
+	for k := range m {
+		dst = append(dst, m[k])
+	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+	return dst
+}
+
+// driverBoxLoop never sees a TaskContext: driver-side code may box in
+// loops freely (it runs once per job, not per record).
+func driverBoxLoop(vals []int64) []any {
+	out := make([]any, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, any(v))
+	}
+	return out
 }

@@ -180,6 +180,9 @@ func New(conf Conf) *App {
 		cost:  cost,
 		meter: energy.NewMeter(),
 	}
+	// Chunk sets committed to the shuffle store register their residency
+	// with the block manager's chunk ledger on the pool.
+	a.store.SetLedger(pool.ChunkStore())
 	if conf.Tiering != nil {
 		eng, err := tiering.NewEngine(*conf.Tiering, pool, a.store, cost, conf.Seed)
 		if err != nil {
@@ -250,11 +253,23 @@ func (a *App) FaultPlan() *faults.Plan { return a.conf.Faults }
 // engine; nil when the conf leaves tiering disabled.
 func (a *App) Tiering() *tiering.Engine { return a.tier }
 
+// DefaultTaskParallelism, when positive, overrides the phase-1 worker
+// count for every Conf that leaves TaskParallelism zero. It exists for
+// determinism harnesses (e.g. rendering the full report at 1 worker and
+// at 8 and requiring byte-identical output); production paths leave it
+// zero and fall back to GOMAXPROCS. Set it only from a single goroutine
+// before building Apps.
+var DefaultTaskParallelism int
+
 // TaskParallelism implements scheduler.Env: the phase-1 worker count,
-// defaulting to runtime.GOMAXPROCS(0) when the conf leaves it zero.
+// defaulting to DefaultTaskParallelism and then runtime.GOMAXPROCS(0)
+// when the conf leaves it zero.
 func (a *App) TaskParallelism() int {
 	if a.conf.TaskParallelism > 0 {
 		return a.conf.TaskParallelism
+	}
+	if DefaultTaskParallelism > 0 {
+		return DefaultTaskParallelism
 	}
 	return runtime.GOMAXPROCS(0)
 }

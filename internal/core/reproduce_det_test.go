@@ -1,0 +1,41 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestReproduceByteIdenticalAcrossWorkerCounts renders a narrowed full
+// report twice — once with every App forced to 1 phase-1 worker, once
+// with 8 — and requires the bytes to match exactly. The chunk shuffle
+// passes block-manager-owned chunk sets by reference between map and
+// reduce tasks, so this is the end-to-end proof that chunk residency,
+// the copy ledger, and every charge sequence are independent of how
+// task compute interleaves. sort covers the range-partitioned chunk
+// path (sampling job + sort shuffle), pagerank the cogroup/join path.
+func TestReproduceByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-report determinism sweep skipped in -short")
+	}
+	render := func(workers int) string {
+		old := cluster.DefaultTaskParallelism
+		cluster.DefaultTaskParallelism = workers
+		defer func() { cluster.DefaultTaskParallelism = old }()
+		var buf bytes.Buffer
+		Reproduce(&buf, ReproduceOptions{
+			Workloads:   []string{"sort", "pagerank"},
+			SkipScaling: true,
+		})
+		return buf.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("full report differs between 1 and 8 workers (len %d vs %d)", len(seq), len(par))
+	}
+	if len(seq) == 0 {
+		t.Fatal("report rendered empty")
+	}
+}

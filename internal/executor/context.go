@@ -83,15 +83,8 @@ const (
 	blockMiss
 )
 
-// shufflePut is one staged shuffle segment write.
-type shufflePut struct {
-	shuffleID int
-	mapPart   int
-	reduce    int
-	records   any
-	items     int
-	bytes     int64
-}
+// shufflePuts stage whole chunk sets (one per map task); see
+// PutShuffleChunks.
 
 // TaskContext is handed to every task's computation. It carries the
 // executor placement, the charging API that turns real data movement into
@@ -128,6 +121,10 @@ type TaskContext struct {
 	Blocks *blockmgr.Manager
 	// Shuffle is the application-wide shuffle store.
 	Shuffle *shuffle.Store
+	// Chunks is the block manager's residency ledger for shuffle chunk
+	// sets (set by Pool.ConfigureContext); with a nil handle chunk reads
+	// resolve to the static shuffle tier.
+	Chunks *blockmgr.ChunkStore
 	// Rand is a task-seeded PRNG for workloads that sample.
 	Rand *rand.Rand
 
@@ -137,9 +134,11 @@ type TaskContext struct {
 	// Staged side effects, published by Commit in partition order.
 	tierDeltas  [memsim.NumTiers]memsim.Counters
 	tierTouched [memsim.NumTiers]*memsim.Tier
+	copyDeltas  [memsim.NumTiers]memsim.CopyCounters
+	copyTouched [memsim.NumTiers]*memsim.Tier
 	blockOps    []blockOp
 	overlay     map[blockmgr.BlockID]blockOp // this task's own staged puts
-	shufflePuts []shufflePut
+	shufflePuts []*shuffle.ChunkSet
 	committed   bool
 }
 
@@ -359,15 +358,13 @@ func (c *TaskContext) PutBlock(id blockmgr.BlockID, data any, bytes int64, items
 	c.overlay[id] = op
 }
 
-// PutShuffleSegment stages one map-output segment. Segments become
-// visible to reduce tasks only after Commit, which runs before any
-// downstream stage starts (stages are barriers), so readers always see
-// fully committed shuffles.
-func (c *TaskContext) PutShuffleSegment(shuffleID, mapPart, reduce int, records any, items int, bytes int64) {
-	c.shufflePuts = append(c.shufflePuts, shufflePut{
-		shuffleID: shuffleID, mapPart: mapPart, reduce: reduce,
-		records: records, items: items, bytes: bytes,
-	})
+// PutShuffleChunks stages one map task's chunk set, stamping it with the
+// writing executor. Chunk sets become visible to reduce tasks only after
+// Commit, which runs before any downstream stage starts (stages are
+// barriers), so readers always see fully committed shuffles.
+func (c *TaskContext) PutShuffleChunks(cs *shuffle.ChunkSet) {
+	cs.ExecID = c.ExecID
+	c.shufflePuts = append(c.shufflePuts, cs)
 }
 
 // Commit publishes the task's staged side effects — tier counter deltas,
@@ -385,6 +382,11 @@ func (c *TaskContext) Commit() {
 			t.MergeCounters(c.tierDeltas[id])
 		}
 	}
+	for id, t := range c.copyTouched {
+		if t != nil {
+			t.MergeCopies(c.copyDeltas[id])
+		}
+	}
 	if c.Blocks != nil {
 		for _, op := range c.blockOps {
 			switch op.kind {
@@ -398,41 +400,73 @@ func (c *TaskContext) Commit() {
 		}
 	}
 	if c.Shuffle != nil {
-		for _, p := range c.shufflePuts {
-			c.Shuffle.Put(p.shuffleID, p.mapPart, p.reduce, c.ExecID, p.records, p.items, p.bytes)
+		for _, cs := range c.shufflePuts {
+			c.Shuffle.PutChunks(cs)
 		}
 	}
 }
 
-// FetchShuffleInputs returns the segments feeding one reduce partition,
+// FetchShuffleChunks returns the chunk sets feeding one reduce partition,
 // ordered by map partition. A map output lost to an executor crash makes
 // the fetch panic with the typed *shuffle.SegmentLostError — the task-level
 // FetchFailed that the scheduler's recovery loop converts into a parent
 // map-stage resubmission. Tasks must fetch through this method (not the
 // store directly) so lost outputs are never silently read as empty.
-func (c *TaskContext) FetchShuffleInputs(shuffleID, reduce int) []*shuffle.Segment {
-	segs, err := c.Shuffle.Inputs(shuffleID, reduce)
+func (c *TaskContext) FetchShuffleChunks(shuffleID, reduce int) []*shuffle.ChunkSet {
+	sets, err := c.Shuffle.Inputs(shuffleID, reduce)
 	if err != nil {
 		panic(err.(*shuffle.SegmentLostError))
 	}
-	return segs
+	return sets
 }
 
-// ReadShuffleSegment charges the cost of opening and draining one shuffle
-// segment. Remote segments (written by another executor) pay the
-// co-operation overhead: extra CPU, a metadata round trip and the full
-// data transfer as sequential reads from the shuffle tier.
-func (c *TaskContext) ReadShuffleSegment(seg *shuffle.Segment) {
-	if seg == nil {
+// ReadShuffleChunk charges the cost of opening and draining one reduce
+// partition's chunk from one map output. Remote chunks (written by
+// another executor) pay the co-operation overhead: extra CPU, a metadata
+// round trip and the full data transfer as sequential reads from the
+// shuffle tier. Local chunks pay the same open/drain charges the
+// pre-chunk row path did — the frozen virtual ledger — while the copy
+// ledger records their bytes as served by reference: the copy a
+// Sparkle-style shared pool avoids. An empty chunk (the map task routed
+// nothing to this reduce partition) charges nothing, exactly like the
+// absent segment it replaces.
+func (c *TaskContext) ReadShuffleChunk(cs *shuffle.ChunkSet, reduce int) {
+	if cs == nil || cs.Items[reduce] == 0 {
 		return
 	}
+	bytes := cs.Bytes[reduce]
 	c.CPU(c.Cost.SegmentOpenNS)
-	if seg.ExecID != c.ExecID {
+	if cs.ExecID != c.ExecID {
 		c.CPU(c.Cost.RemoteSegmentNS)
 		c.ShuffleRand(memsim.Read, 1, c.Cost.SegmentMetaBytes)
 	}
-	if seg.Bytes > 0 {
-		c.ShuffleSeq(memsim.Read, seg.Bytes)
-		c.CPU(float64(seg.Bytes) * c.Cost.SerDePerB)
+	if bytes > 0 {
+		c.ShuffleSeq(memsim.Read, bytes)
+		c.CPU(float64(bytes) * c.Cost.SerDePerB)
 	}
+	t := c.chunkTierFor(cs)
+	d := &c.copyDeltas[t.Spec.ID]
+	if cs.ExecID == c.ExecID {
+		d.LocalChunks++
+		d.LocalBytes += bytes
+	} else {
+		d.RemoteChunks++
+		d.RemoteBytes += bytes
+	}
+	c.copyTouched[t.Spec.ID] = t
+}
+
+// chunkTierFor resolves the tier a chunk set's page is resident on via
+// the block manager's chunk ledger; standalone contexts without a ledger
+// fall back to the static shuffle tier. Residency is frozen during a
+// stage (chunk sets are registered by partition-ordered commits between
+// stages), so the resolved tier is identical for any phase-1 worker
+// count.
+func (c *TaskContext) chunkTierFor(cs *shuffle.ChunkSet) *memsim.Tier {
+	if c.Sys != nil && c.Chunks != nil {
+		if tid, ok := c.Chunks.TierOf(cs.Shuffle, cs.MapPart); ok {
+			return c.Sys.Tier(tid)
+		}
+	}
+	return c.ShuffleTier
 }

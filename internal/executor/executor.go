@@ -38,6 +38,9 @@ type Pool struct {
 	Executors []*Executor
 	sys       *memsim.System
 	placement Placement
+	// chunks is the block manager's residency ledger for shuffle chunk
+	// sets; new chunk sets land on the placement's shuffle tier.
+	chunks *blockmgr.ChunkStore
 
 	// binding and cacheCapacity are kept so Replace can build an
 	// identically configured executor in a dead slot.
@@ -62,7 +65,8 @@ func NewPlacedPool(n, coresEach int, binding numa.Binding, sys *memsim.System,
 	if err := placement.Validate(); err != nil {
 		panic(err)
 	}
-	p := &Pool{sys: sys, placement: placement, binding: binding, cacheCapacity: cacheCapacity}
+	p := &Pool{sys: sys, placement: placement, binding: binding, cacheCapacity: cacheCapacity,
+		chunks: blockmgr.NewChunkStore(placement.Shuffle)}
 	for i := 0; i < n; i++ {
 		ex := NewExecutor(i, coresEach, binding, cacheCapacity)
 		// Blocks land on the placement's cache tier; the dynamic tiering
@@ -89,15 +93,20 @@ func (p *Pool) ShuffleTier() *memsim.Tier { return p.sys.Tier(p.placement.Shuffl
 // CacheTier returns the tier backing persisted RDD partitions.
 func (p *Pool) CacheTier() *memsim.Tier { return p.sys.Tier(p.placement.Cache) }
 
+// ChunkStore returns the pool's shuffle-chunk residency ledger.
+func (p *Pool) ChunkStore() *blockmgr.ChunkStore { return p.chunks }
+
 // ConfigureContext applies the pool's heap-interleave settings to a task
 // context built over its tiers and hands it the memory system so cache
-// bursts can be charged to each block's resident tier.
+// bursts can be charged to each block's resident tier — and the chunk
+// ledger so chunk reads resolve to the tier the chunk set landed on.
 func (p *Pool) ConfigureContext(ctx *TaskContext) *TaskContext {
 	if p.placement.HeapSpillFrac > 0 {
 		ctx.HeapSpill = p.sys.Tier(p.placement.HeapSpill)
 		ctx.HeapSpillFrac = p.placement.HeapSpillFrac
 	}
 	ctx.Sys = p.sys
+	ctx.Chunks = p.chunks
 	return ctx
 }
 

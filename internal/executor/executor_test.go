@@ -76,8 +76,8 @@ func TestTaskContextIgnoresNonPositive(t *testing.T) {
 	}
 }
 
-func TestReadShuffleSegmentLocalVsRemote(t *testing.T) {
-	_, _, pool2 := func() (*sim.Kernel, *memsim.System, *Pool) {
+func TestReadShuffleChunkLocalVsRemote(t *testing.T) {
+	_, sys, pool2 := func() (*sim.Kernel, *memsim.System, *Pool) {
 		k := sim.NewKernel()
 		sys := memsim.NewSystem(k)
 		return k, sys, NewPool(2, 2, numa.BindingForTier(memsim.Tier0), sys, 0)
@@ -87,20 +87,39 @@ func TestReadShuffleSegmentLocalVsRemote(t *testing.T) {
 	local := NewTaskContext(0, 0, pool2.Tier(), cost, pool2.Executors[0].Blocks, shuffle.NewStore(), 1)
 	remote := NewTaskContext(0, 0, pool2.Tier(), cost, pool2.Executors[0].Blocks, shuffle.NewStore(), 1)
 
-	seg := &shuffle.Segment{Bytes: 4096, Items: 10, ExecID: 0}
-	local.ReadShuffleSegment(seg)
-	segRemote := &shuffle.Segment{Bytes: 4096, Items: 10, ExecID: 1}
-	remote.ReadShuffleSegment(segRemote)
+	cs := &shuffle.ChunkSet{Shuffle: 1, MapPart: 0, ExecID: 0, Items: []int{10}, Bytes: []int64{4096}}
+	local.ReadShuffleChunk(cs, 0)
+	csRemote := &shuffle.ChunkSet{Shuffle: 1, MapPart: 1, ExecID: 1, Items: []int{10}, Bytes: []int64{4096}}
+	remote.ReadShuffleChunk(csRemote, 0)
 
 	if remote.Profile().CPUNS <= local.Profile().CPUNS {
-		t.Error("remote segment fetch must cost extra CPU (co-operation overhead)")
+		t.Error("remote chunk fetch must cost extra CPU (co-operation overhead)")
 	}
 	rT := remote.Profile().Tiers[memsim.Tier0]
 	lT := local.Profile().Tiers[memsim.Tier0]
 	if rT.StallLines[memsim.Read] <= lT.StallLines[memsim.Read] {
-		t.Error("remote segment fetch must incur extra latency-exposed accesses")
+		t.Error("remote chunk fetch must incur extra latency-exposed accesses")
 	}
-	local.ReadShuffleSegment(nil) // nil-safe
+	local.ReadShuffleChunk(nil, 0) // nil-safe
+	empty := &shuffle.ChunkSet{Shuffle: 1, MapPart: 2, ExecID: 1, Items: []int{0}, Bytes: []int64{0}}
+	before := remote.Profile().CPUNS
+	remote.ReadShuffleChunk(empty, 0) // empty chunks charge nothing
+	if remote.Profile().CPUNS != before {
+		t.Error("empty chunk read charged CPU")
+	}
+
+	// The copy ledger stages with the task and publishes at commit: the
+	// local read is a reference pass (copy saved), the remote a copy.
+	if got := sys.Tier(memsim.Tier0).Copies(); got != (memsim.CopyCounters{}) {
+		t.Fatalf("copy ledger published before commit: %+v", got)
+	}
+	local.Commit()
+	remote.Commit()
+	got := sys.Tier(memsim.Tier0).Copies()
+	want := memsim.CopyCounters{LocalChunks: 1, LocalBytes: 4096, RemoteChunks: 1, RemoteBytes: 4096}
+	if got != want {
+		t.Fatalf("copy ledger = %+v, want %+v", got, want)
+	}
 }
 
 func TestProfileAdd(t *testing.T) {

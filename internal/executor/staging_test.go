@@ -89,7 +89,7 @@ func TestGetBlockSnapshotAndReplay(t *testing.T) {
 	}
 }
 
-// Shuffle segments stage in the context and land in the store, stamped
+// Shuffle chunk sets stage in the context and land in the store, stamped
 // with the writer's executor id, only at Commit.
 func TestShufflePutsStagedUntilCommit(t *testing.T) {
 	_, _, pool := newTestRig(memsim.Tier0)
@@ -98,17 +98,20 @@ func TestShufflePutsStagedUntilCommit(t *testing.T) {
 	store.RegisterShuffle(1, 2)
 	ctx := NewTaskContext(ex.ID, 0, pool.Tier(), DefaultCostModel(), ex.Blocks, store, 42)
 
-	ctx.PutShuffleSegment(1, 0, 1, []int{1, 2, 3}, 3, 24)
+	ctx.PutShuffleChunks(&shuffle.ChunkSet{
+		Shuffle: 1, MapPart: 0,
+		Chunks: [][]int{nil, {1, 2, 3}}, Items: []int{0, 3}, Bytes: []int64{0, 24},
+	})
 	if store.TotalBytes() != 0 {
-		t.Fatal("segment visible before commit")
+		t.Fatal("chunk set visible before commit")
 	}
 	ctx.Commit()
 	if store.TotalBytes() != 24 {
 		t.Fatalf("store bytes after commit = %d, want 24", store.TotalBytes())
 	}
-	seg := store.Get(1, 0, 1)
-	if seg == nil || seg.Items != 3 || seg.ExecID != ex.ID {
-		t.Fatalf("committed segment = %+v", seg)
+	cs := store.Get(1, 0)
+	if cs == nil || cs.Items[1] != 3 || cs.ExecID != ex.ID {
+		t.Fatalf("committed chunk set = %+v", cs)
 	}
 }
 

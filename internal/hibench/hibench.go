@@ -93,6 +93,11 @@ type RunResult struct {
 	// NVMCounters sums the media counters of the two DCPM tiers, for
 	// placement studies that split traffic between technologies.
 	NVMCounters memsim.Counters
+	// Copies is the per-tier shuffle-copy ledger: chunk reads the shuffle
+	// served by reference (reader co-resident with the writer) versus by
+	// copy. Observational only — it never feeds Duration, energy or the
+	// media counters.
+	Copies [memsim.NumTiers]memsim.CopyCounters
 	// Engine is a snapshot of the scheduler's engine-level counters,
 	// including the recovery.* family a fault plan drives and the
 	// tiering.* gauges when tiering is enabled.
@@ -164,6 +169,7 @@ func Run(spec RunSpec) (result RunResult, err error) {
 	}
 	res.NVMCounters.Add(app.System().Tier(memsim.Tier2).Counters())
 	res.NVMCounters.Add(app.System().Tier(memsim.Tier3).Counters())
+	res.Copies = app.System().CopySnapshot()
 	res.Engine = app.EngineCounters().Snapshot()
 	if eng := app.Tiering(); eng != nil {
 		res.Tiering = TieringStats{

@@ -13,6 +13,9 @@ type Tier struct {
 	Spec     TierSpec
 	server   *sim.SharedServer
 	counters Counters
+	// copies is the observational shuffle-copy ledger (see copy.go); it
+	// never feeds the timing or energy models.
+	copies CopyCounters
 }
 
 func newTier(k *sim.Kernel, spec TierSpec) *Tier {
@@ -31,8 +34,12 @@ func (t *Tier) Server() *sim.SharedServer { return t.server }
 // Counters returns a snapshot of the tier's access counters.
 func (t *Tier) Counters() Counters { return t.counters }
 
-// ResetCounters zeroes the access counters (between experiment runs).
-func (t *Tier) ResetCounters() { t.counters = Counters{} }
+// ResetCounters zeroes the access counters and the shuffle-copy ledger
+// (between experiment runs).
+func (t *Tier) ResetCounters() {
+	t.counters = Counters{}
+	t.copies = CopyCounters{}
+}
 
 // Lines returns the number of media-granularity line transfers needed for a
 // burst of the given size. Every non-empty burst touches at least one line.

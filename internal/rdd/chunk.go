@@ -1,0 +1,145 @@
+package rdd
+
+import (
+	"repro/internal/executor"
+	"repro/internal/memsim"
+	"repro/internal/shuffle"
+)
+
+// Chunk is one reduce partition's columnar slice of a map task's shuffle
+// output: parallel key and value columns carved from the map task's single
+// backing page. Chunks cross the map/reduce boundary by reference — the
+// shuffle store hands the same columns to every reader — so consumers must
+// treat them as immutable and materialize rows only at their own output
+// boundary.
+type Chunk[K comparable, V any] struct {
+	Keys []K
+	Vals []V
+}
+
+// Len returns the number of records in the chunk.
+func (c Chunk[K, V]) Len() int { return len(c.Keys) }
+
+// chunkify hash-partitions one computed map partition into per-reduce
+// columnar chunks sharing one backing page: a first-pass key histogram
+// sizes the page, a prefix sum carves the per-reduce column windows, and a
+// single scatter pass fills them. The whole map output costs three fixed
+// allocations (key page, value page, chunk headers) however many reduce
+// partitions it feeds — the pre-chunk row path allocated one bucket slice
+// per non-empty reduce. Charges are identical to the row path's: the data
+// itself streams (sequential writes), only the per-chunk headers scatter.
+// This is what keeps pure-shuffle workloads (sort, repartition) far less
+// latency-sensitive than hash-aggregating ones — the paper's
+// per-application sensitivity split.
+// It also returns per-chunk record bytes so putChunks charges the chunk
+// set without re-walking it. The sizer is resolved once by the caller.
+func chunkify[K comparable, V any](ctx *executor.TaskContext, recs []Pair[K, V],
+	p Partitioner[K], ps Sizer[Pair[K, V]]) ([]Chunk[K, V], []int64) {
+	nparts := p.NumPartitions()
+	targets := make([]int32, len(recs))
+	counts := make([]int, nparts)
+	for i := range recs {
+		b := p.PartitionFor(recs[i].Key)
+		targets[i] = int32(b)
+		counts[b]++
+	}
+	keys := make([]K, len(recs))
+	vals := make([]V, len(recs))
+	chunks := make([]Chunk[K, V], nparts)
+	next := make([]int, nparts)
+	off := 0
+	for b, c := range counts {
+		next[b] = off
+		chunks[b] = Chunk[K, V]{Keys: keys[off : off+c], Vals: vals[off : off+c]}
+		off += c
+	}
+	bucketBytes := make([]int64, nparts)
+	var bytes int64
+	for i := range recs {
+		b := targets[i]
+		j := next[b]
+		next[b] = j + 1
+		keys[j] = recs[i].Key
+		vals[j] = recs[i].Val
+		sz := ps.Of(recs[i])
+		bucketBytes[b] += sz
+		bytes += sz
+	}
+	ctx.CPUPerRecord(len(recs), ctx.Cost.HashNS)
+	ctx.ShuffleSeq(memsim.Write, bytes)
+	used := 0
+	for _, c := range counts {
+		if c > 0 {
+			used++
+		}
+	}
+	ctx.ShuffleRand(memsim.Write, used, int64(used)*64)
+	return chunks, bucketBytes
+}
+
+// putChunks serializes and stages the map task's chunk set, charging each
+// non-empty chunk from the bytes chunkify already accumulated (the
+// 24-byte slice header completes the SizeOfSlice equivalence the frozen
+// ledger was built on). A map task that routed no records stages nothing,
+// exactly like the row path wrote no segments — so crash recovery never
+// resubmits tasks that had no output.
+func putChunks[K comparable, V any](ctx *executor.TaskContext, shuffleID, mapPart int,
+	chunks []Chunk[K, V], bucketBytes []int64) {
+	items := make([]int, len(chunks))
+	sizes := make([]int64, len(chunks))
+	nonEmpty := 0
+	for reduce := range chunks {
+		n := chunks[reduce].Len()
+		if n == 0 {
+			continue
+		}
+		bytes := 24 + bucketBytes[reduce]
+		ctx.CPU(float64(bytes) * ctx.Cost.SerDePerB)
+		items[reduce] = n
+		sizes[reduce] = bytes
+		nonEmpty++
+	}
+	if nonEmpty == 0 {
+		return
+	}
+	ctx.PutShuffleChunks(&shuffle.ChunkSet{
+		Shuffle: shuffleID, MapPart: mapPart,
+		Chunks: chunks, Items: items, Bytes: sizes,
+	})
+}
+
+// writeChunks is the whole map side of a shuffle write: compute feeds
+// chunkify feeds putChunks.
+func writeChunks[K comparable, V any](ctx *executor.TaskContext, shuffleID, mapPart int,
+	recs []Pair[K, V], p Partitioner[K], ps Sizer[Pair[K, V]]) {
+	chunks, bucketBytes := chunkify(ctx, recs, p, ps)
+	putChunks(ctx, shuffleID, mapPart, chunks, bucketBytes)
+}
+
+// fetchChunks fetches one reduce partition's inputs and charges every
+// non-empty chunk's open/drain cost in map-partition order, returning the
+// typed chunks (borrowed by reference from the store) in that same order.
+// Record iteration itself charges nothing, so charging all chunks up
+// front is charge-for-charge identical to the row path's interleaved
+// read-then-drain loop.
+func fetchChunks[K comparable, V any](ctx *executor.TaskContext, shuffleID, reduce int) []Chunk[K, V] {
+	sets := ctx.FetchShuffleChunks(shuffleID, reduce)
+	n := 0
+	for _, cs := range sets {
+		if cs != nil && cs.Items[reduce] > 0 {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Chunk[K, V], 0, n)
+	for _, cs := range sets {
+		if cs == nil || cs.Items[reduce] == 0 {
+			continue
+		}
+		ctx.ReadShuffleChunk(cs, reduce)
+		out = append(out, cs.Chunks.([]Chunk[K, V])[reduce])
+	}
+	return out
+}

@@ -62,68 +62,6 @@ func Values[K comparable, V any](r *RDD[Pair[K, V]]) *RDD[V] {
 	return Map(r, func(p Pair[K, V]) V { return p.Val })
 }
 
-// bucketize hash-partitions one computed map partition into per-reduce
-// buckets. Records are appended to per-bucket serialized buffers, so the
-// data itself streams (sequential writes); only the per-bucket headers are
-// scattered. This is what keeps pure-shuffle workloads (sort, repartition)
-// far less latency-sensitive than hash-aggregating ones — the paper's
-// per-application sensitivity split.
-// It also returns per-bucket record bytes so putBuckets charges segments
-// without re-walking them. The sizer is resolved once by the caller; a
-// first-pass key histogram lets every bucket allocate exactly once at its
-// final capacity instead of growing by repeated append.
-func bucketize[K comparable, V any](ctx *executor.TaskContext, recs []Pair[K, V],
-	p Partitioner[K], ps Sizer[Pair[K, V]]) ([][]Pair[K, V], []int64) {
-	nparts := p.NumPartitions()
-	targets := make([]int32, len(recs))
-	counts := make([]int, nparts)
-	for i := range recs {
-		b := p.PartitionFor(recs[i].Key)
-		targets[i] = int32(b)
-		counts[b]++
-	}
-	buckets := make([][]Pair[K, V], nparts)
-	for b, c := range counts {
-		if c > 0 {
-			buckets[b] = make([]Pair[K, V], 0, c)
-		}
-	}
-	bucketBytes := make([]int64, nparts)
-	var bytes int64
-	for i := range recs {
-		b := targets[i]
-		buckets[b] = append(buckets[b], recs[i])
-		sz := ps.Of(recs[i])
-		bucketBytes[b] += sz
-		bytes += sz
-	}
-	ctx.CPUPerRecord(len(recs), ctx.Cost.HashNS)
-	ctx.ShuffleSeq(memsim.Write, bytes)
-	used := 0
-	for _, c := range counts {
-		if c > 0 {
-			used++
-		}
-	}
-	ctx.ShuffleRand(memsim.Write, used, int64(used)*64)
-	return buckets, bucketBytes
-}
-
-// putBuckets serializes and registers the buckets as shuffle segments,
-// charging each segment from the bytes bucketize already accumulated
-// (the 24-byte slice header completes the SizeOfSlice equivalence).
-func putBuckets[K comparable, V any](ctx *executor.TaskContext, shuffleID, mapPart int,
-	buckets [][]Pair[K, V], bucketBytes []int64) {
-	for reduce, b := range buckets {
-		if len(b) == 0 {
-			continue
-		}
-		bytes := 24 + bucketBytes[reduce]
-		ctx.CPU(float64(bytes) * ctx.Cost.SerDePerB)
-		ctx.PutShuffleSegment(shuffleID, mapPart, reduce, b, len(b), bytes)
-	}
-}
-
 // aggOutputBytes is the single-pass replacement for SizeOfSlice over an
 // aggregation's output: the slice header plus the key bytes accumulated
 // at insert time plus the combiner values — constant-folded when the
@@ -195,49 +133,43 @@ func CombineByKey[K comparable, V, C any](r *RDD[Pair[K, V]],
 			recs := r.Compute(ctx, mapPart)
 			if mapSideCombine {
 				combined := localCombine(ctx, recs, create, mergeValue, ps, ks, cs)
-				buckets, bucketBytes := bucketize(ctx, combined, part, pcs)
-				putBuckets(ctx, shuffleID, mapPart, buckets, bucketBytes)
+				writeChunks(ctx, shuffleID, mapPart, combined, part, pcs)
 			} else {
-				buckets, bucketBytes := bucketize(ctx, recs, part, ps)
-				putBuckets(ctx, shuffleID, mapPart, buckets, bucketBytes)
+				writeChunks(ctx, shuffleID, mapPart, recs, part, ps)
 			}
 		},
 	}
 	return newRDD(d, "combineByKey", parts, []Dep{dep}, func(ctx *executor.TaskContext, reduce int) []Pair[K, C] {
 		if mapSideCombine {
-			return mergeSegments[K, C, C](ctx, shuffleID, reduce,
+			return mergeChunks[K, C, C](ctx, shuffleID, reduce,
 				func(c C) C { return c }, mergeCombiners, pcs, ks, cs)
 		}
-		return mergeSegments[K, V, C](ctx, shuffleID, reduce, create, mergeValue, ps, ks, cs)
+		return mergeChunks[K, V, C](ctx, shuffleID, reduce, create, mergeValue, ps, ks, cs)
 	})
 }
 
-// mergeSegments drains one reduce partition's segments into an
-// insertion-ordered aggregation map.
-func mergeSegments[K comparable, V, C any](ctx *executor.TaskContext, shuffleID, reduce int,
+// mergeChunks drains one reduce partition's borrowed chunks into an
+// insertion-ordered aggregation map, reading the columns in place.
+func mergeChunks[K comparable, V, C any](ctx *executor.TaskContext, shuffleID, reduce int,
 	create func(V) C, merge func(C, V) C,
 	ps Sizer[Pair[K, V]], ks Sizer[K], cs Sizer[C]) []Pair[K, C] {
 	index := make(map[K]int)
 	var out []Pair[K, C]
 	var probeBytes, keyBytes int64
 	var n int
-	for _, seg := range ctx.FetchShuffleInputs(shuffleID, reduce) {
-		if seg == nil {
-			continue
-		}
-		ctx.ReadShuffleSegment(seg)
-		recs := seg.Records.([]Pair[K, V])
-		for _, rec := range recs {
-			probeBytes += ps.Of(rec)
-			if i, ok := index[rec.Key]; ok {
-				out[i].Val = merge(out[i].Val, rec.Val)
+	for _, ch := range fetchChunks[K, V](ctx, shuffleID, reduce) {
+		for j := range ch.Keys {
+			k, v := ch.Keys[j], ch.Vals[j]
+			probeBytes += ps.Of(KV(k, v))
+			if i, ok := index[k]; ok {
+				out[i].Val = merge(out[i].Val, v)
 			} else {
-				index[rec.Key] = len(out)
-				keyBytes += ks.Of(rec.Key)
-				out = append(out, KV(rec.Key, create(rec.Val)))
+				index[k] = len(out)
+				keyBytes += ks.Of(k)
+				out = append(out, KV(k, create(v)))
 			}
 		}
-		n += len(recs)
+		n += ch.Len()
 	}
 	ctx.CPUPerRecord(n, ctx.Cost.HashNS+ctx.Cost.ReduceNS)
 	ctx.MemRand(memsim.Read, n, probeBytes)
@@ -281,19 +213,27 @@ func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], p Partitioner[K]) *RDD
 		ShuffleID: shuffleID,
 		NumReduce: p.NumPartitions(),
 		WriteMap: func(ctx *executor.TaskContext, mapPart int) {
-			buckets, bucketBytes := bucketize(ctx, r.Compute(ctx, mapPart), p, ps)
-			putBuckets(ctx, shuffleID, mapPart, buckets, bucketBytes)
+			writeChunks(ctx, shuffleID, mapPart, r.Compute(ctx, mapPart), p, ps)
 		},
 	}
 	return newRDD(d, "partitionBy", p.NumPartitions(), []Dep{dep},
 		func(ctx *executor.TaskContext, reduce int) []Pair[K, V] {
-			var out []Pair[K, V]
-			for _, seg := range ctx.FetchShuffleInputs(shuffleID, reduce) {
-				if seg == nil {
-					continue
+			// Rows materialize exactly once, into a page pre-sized from the
+			// borrowed chunks' lengths — the single copy the reference-
+			// passing shuffle still pays, at the consumer boundary.
+			chunks := fetchChunks[K, V](ctx, shuffleID, reduce)
+			n := 0
+			for _, ch := range chunks {
+				n += ch.Len()
+			}
+			if n == 0 {
+				return nil
+			}
+			out := make([]Pair[K, V], 0, n)
+			for _, ch := range chunks {
+				for j := range ch.Keys {
+					out = append(out, KV(ch.Keys[j], ch.Vals[j]))
 				}
-				ctx.ReadShuffleSegment(seg)
-				out = append(out, seg.Records.([]Pair[K, V])...)
 			}
 			return out
 		})
@@ -368,15 +308,13 @@ func CoGroup[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], par
 	depL := &ShuffleDep{
 		P: a.base, ShuffleID: leftID, NumReduce: parts,
 		WriteMap: func(ctx *executor.TaskContext, mapPart int) {
-			buckets, bucketBytes := bucketize(ctx, a.Compute(ctx, mapPart), p, pvs)
-			putBuckets(ctx, leftID, mapPart, buckets, bucketBytes)
+			writeChunks(ctx, leftID, mapPart, a.Compute(ctx, mapPart), p, pvs)
 		},
 	}
 	depR := &ShuffleDep{
 		P: b.base, ShuffleID: rightID, NumReduce: parts,
 		WriteMap: func(ctx *executor.TaskContext, mapPart int) {
-			buckets, bucketBytes := bucketize(ctx, b.Compute(ctx, mapPart), p, pws)
-			putBuckets(ctx, rightID, mapPart, buckets, bucketBytes)
+			writeChunks(ctx, rightID, mapPart, b.Compute(ctx, mapPart), p, pws)
 		},
 	}
 	return newRDD(d, "cogroup", parts, []Dep{depL, depR},
@@ -399,29 +337,21 @@ func CoGroup[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], par
 			}
 			var n int
 			var probeBytes int64
-			for _, seg := range ctx.FetchShuffleInputs(leftID, reduce) {
-				if seg == nil {
-					continue
-				}
-				ctx.ReadShuffleSegment(seg)
-				for _, rec := range seg.Records.([]Pair[K, V]) {
-					i := slot(rec.Key)
-					out[i].Val.Left = append(out[i].Val.Left, rec.Val)
-					cellBytes += vs.Of(rec.Val)
-					probeBytes += pvs.Of(rec)
+			for _, ch := range fetchChunks[K, V](ctx, leftID, reduce) {
+				for j := range ch.Keys {
+					i := slot(ch.Keys[j])
+					out[i].Val.Left = append(out[i].Val.Left, ch.Vals[j])
+					cellBytes += vs.Of(ch.Vals[j])
+					probeBytes += pvs.Of(KV(ch.Keys[j], ch.Vals[j]))
 					n++
 				}
 			}
-			for _, seg := range ctx.FetchShuffleInputs(rightID, reduce) {
-				if seg == nil {
-					continue
-				}
-				ctx.ReadShuffleSegment(seg)
-				for _, rec := range seg.Records.([]Pair[K, W]) {
-					i := slot(rec.Key)
-					out[i].Val.Right = append(out[i].Val.Right, rec.Val)
-					cellBytes += ws.Of(rec.Val)
-					probeBytes += pws.Of(rec)
+			for _, ch := range fetchChunks[K, W](ctx, rightID, reduce) {
+				for j := range ch.Keys {
+					i := slot(ch.Keys[j])
+					out[i].Val.Right = append(out[i].Val.Right, ch.Vals[j])
+					cellBytes += ws.Of(ch.Vals[j])
+					probeBytes += pws.Of(KV(ch.Keys[j], ch.Vals[j]))
 					n++
 				}
 			}

@@ -3,6 +3,7 @@ package workloads
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/rdd"
 )
@@ -31,6 +32,31 @@ func genTextRecord(r *rand.Rand) TextRecord {
 		key[i] = alphabet[r.Intn(len(alphabet))]
 	}
 	return TextRecord{Key: string(key), Payload: r.Int63()}
+}
+
+// genTextRecords fills out with exactly the records repeated genTextRecord
+// calls would draw — the PRNG sequence (10 key bytes, then the payload,
+// per record) and the record contents are byte-identical — but every key
+// is a substring of one shared arena built in a single strings.Builder,
+// so a whole partition costs one key allocation instead of one per
+// record. Text-heavy workloads (sort, repartition) generate their input
+// twice per run (sampling job + shuffle map stage), which made per-record
+// keys the dominant host allocator on the bench wall-clock path.
+func genTextRecords(r *rand.Rand, out []TextRecord) {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+	const keyLen = 10
+	var sb strings.Builder
+	sb.Grow(keyLen * len(out))
+	for i := range out {
+		for j := 0; j < keyLen; j++ {
+			sb.WriteByte(alphabet[r.Intn(len(alphabet))])
+		}
+		out[i].Payload = r.Int63()
+	}
+	arena := sb.String()
+	for i := range out {
+		out[i].Key = arena[keyLen*i : keyLen*(i+1)]
+	}
 }
 
 // Rating is one ALS observation.

@@ -22,6 +22,12 @@ func TestGeneratorsDeterministic(t *testing.T) {
 			}
 			return fmt.Sprintf("%#v", out)
 		},
+		"textBatch": func(seed int64) string {
+			r := rand.New(rand.NewSource(seed))
+			out := make([]TextRecord, 64)
+			genTextRecords(r, out)
+			return fmt.Sprintf("%#v", out)
+		},
 		"ratings": func(seed int64) string {
 			return fmt.Sprintf("%#v", genRatings(rand.New(rand.NewSource(seed)), 50, 40, 200, 4))
 		},
@@ -70,10 +76,39 @@ func TestGeneratorsDeterministic(t *testing.T) {
 	}
 }
 
+// TestBatchTextGenMatchesPerRecord pins the arena generator's contract:
+// genTextRecords must draw the exact PRNG sequence repeated genTextRecord
+// calls would (10 key bytes then the payload, per record), produce
+// identical records, and leave the source in the identical state — so the
+// sort/repartition switch to the batch path cannot move a single byte of
+// the frozen ledger.
+func TestBatchTextGenMatchesPerRecord(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		r1 := rand.New(rand.NewSource(42))
+		r2 := rand.New(rand.NewSource(42))
+		want := make([]TextRecord, n)
+		for i := range want {
+			want[i] = genTextRecord(r1)
+		}
+		got := make([]TextRecord, n)
+		genTextRecords(r2, got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d record %d: batch %+v, per-record %+v", n, i, got[i], want[i])
+			}
+		}
+		if a, b := r1.Int63(), r2.Int63(); a != b {
+			t.Fatalf("n=%d: PRNG state diverges after generation (%d vs %d)", n, a, b)
+		}
+	}
+}
+
 // TestDatasetPartitionsByteIdentical generates the sort workload's input
 // twice — and once more with phase-1 parallelism — and requires the
 // partitioned dataset to render byte-identically: partition boundaries,
-// record order within partitions, and record contents.
+// record order within partitions, and record contents. It uses
+// GenerateBatch + genTextRecords, the exact production path of the text
+// workloads.
 func TestDatasetPartitionsByteIdentical(t *testing.T) {
 	build := func(taskParallelism int) string {
 		conf := cluster.DefaultConf()
@@ -81,8 +116,8 @@ func TestDatasetPartitionsByteIdentical(t *testing.T) {
 		conf.DefaultParallelism = 8
 		conf.TaskParallelism = taskParallelism
 		app := cluster.New(conf)
-		data := rdd.Generate(app, "det-input", 4_000, 0, func(r *rand.Rand, _ int) TextRecord {
-			return genTextRecord(r)
+		data := rdd.GenerateBatch(app, "det-input", 4_000, 0, func(r *rand.Rand, _, _ int, out []TextRecord) {
+			genTextRecords(r, out)
 		})
 		parts := rdd.Collect(rdd.Glom(data))
 		return fmt.Sprintf("%#v", parts)

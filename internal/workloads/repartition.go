@@ -42,8 +42,8 @@ func (w *Repartition) Describe(size Size) string {
 // Run implements Workload.
 func (w *Repartition) Run(app *cluster.App, size Size) Summary {
 	p := repartitionSizes[size]
-	data := rdd.Generate(app, "repartition-input", p.Records, 0, func(r *rand.Rand, _ int) TextRecord {
-		return genTextRecord(r)
+	data := rdd.GenerateBatch(app, "repartition-input", p.Records, 0, func(r *rand.Rand, _, _ int, out []TextRecord) {
+		genTextRecords(r, out)
 	})
 	shuffled := rdd.Repartition(data, app.DefaultParallelism())
 	bytes := rdd.SaveAsSink(shuffled)

@@ -42,8 +42,8 @@ func (s *Sort) Describe(size Size) string {
 // Run implements Workload.
 func (s *Sort) Run(app *cluster.App, size Size) Summary {
 	p := sortSizes[size]
-	data := rdd.Generate(app, "sort-input", p.Records, 0, func(r *rand.Rand, _ int) TextRecord {
-		return genTextRecord(r)
+	data := rdd.GenerateBatch(app, "sort-input", p.Records, 0, func(r *rand.Rand, _, _ int, out []TextRecord) {
+		genTextRecords(r, out)
 	})
 	keyed := rdd.KeyBy(data, func(t TextRecord) string { return t.Key })
 	sorted := rdd.SortByKey(keyed, func(a, b string) bool { return a < b }, 0)
