@@ -1,0 +1,21 @@
+package analysis
+
+// AllowAudit keeps the suppression inventory honest: every
+// //simlint:allow directive must still cover a diagnostic the named
+// analyzer would emit at that location. Code drifts — the offending call
+// gets refactored away, an analyzer gets smarter — and a surviving
+// directive then silently masks the next real violation introduced on
+// that line. Stale directives are reported at the directive's own
+// position.
+//
+// The analyzer has no per-package Run: it operates on the directive
+// table the framework builds after all other analyzers have reported,
+// which is the only point where "suppressed nothing" is decidable. Its
+// findings cannot themselves be suppressed (like the framework's own
+// "simlint" diagnostics), so a stale directive cannot be papered over
+// with another directive.
+var AllowAudit = &Analyzer{
+	Name:     "allowaudit",
+	Doc:      "report //simlint:allow directives that no longer suppress any finding",
+	Severity: SevWarning,
+}

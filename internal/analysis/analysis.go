@@ -5,14 +5,40 @@ import (
 	"go/ast"
 	"go/token"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
+
+// Severity ranks a diagnostic: errors are invariant violations that must
+// fail the build, warnings are quality findings a driver may choose to
+// tolerate (the default driver fails on both).
+type Severity string
+
+const (
+	// SevError marks a correctness-invariant violation.
+	SevError Severity = "error"
+	// SevWarning marks a quality or hygiene finding.
+	SevWarning Severity = "warning"
+)
+
+// rank orders severities for threshold comparisons (higher is worse).
+func (s Severity) rank() int {
+	if s == SevError {
+		return 2
+	}
+	return 1
+}
+
+// AtLeast reports whether s is at least as severe as min.
+func (s Severity) AtLeast(min Severity) bool { return s.rank() >= min.rank() }
 
 // Diagnostic is one analyzer finding.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
+	Severity Severity
 	Message  string
 }
 
@@ -38,30 +64,54 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description for -list output.
 	Doc string
-	// Run inspects the pass's packages and reports findings.
+	// Severity classifies this analyzer's findings.
+	Severity Severity
+	// Init, when set, runs once per module before the per-package runs,
+	// with a Pass whose Pkg is nil; its return value is handed to every
+	// Run via Pass.State. Module-wide facts (call-graph taint sets) are
+	// computed here so the per-package runs can execute in parallel.
+	Init func(p *Pass) any
+	// Run inspects one package (p.Pkg) and reports findings. It may run
+	// concurrently with other packages' runs and must treat the Pass's
+	// shared fields (Facts, State) as read-only. A nil Run marks a
+	// directive-level analyzer handled by the framework itself
+	// (allowaudit).
 	Run func(p *Pass)
 }
 
-// Pass is the shared state handed to every analyzer run: the loaded
-// packages, the module path (to tell module APIs from stdlib) and the
+// Pass is the state handed to an analyzer run: the loaded packages, the
+// module-wide dataflow facts, the package under analysis and the
 // diagnostic sink.
 type Pass struct {
 	// ModulePath is the module's import-path prefix.
 	ModulePath string
-	// Packages are the packages under analysis, sorted by path.
+	// Packages are all packages under analysis, sorted by path.
 	Packages []*Package
 	// Fset positions every file in Packages.
 	Fset *token.FileSet
+	// Facts is the shared call-graph and value-flow fact base.
+	Facts *Facts
+	// Pkg is the package this Run call analyzes (nil during Init).
+	Pkg *Package
 
 	analyzer *Analyzer
+	state    any
 	diags    *[]Diagnostic
 }
 
+// State returns the value the analyzer's Init produced for this run.
+func (p *Pass) State() any { return p.state }
+
 // Reportf records a diagnostic at pos for the running analyzer.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	sev := p.analyzer.Severity
+	if sev == "" {
+		sev = SevError
+	}
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.analyzer.Name,
+		Severity: sev,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
@@ -70,12 +120,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // The loader does not parse test files, but analyzers guard anyway so
 // they behave when handed test sources directly.
 func (p *Pass) IsTestFile(pos token.Pos) bool {
-	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+	return isTestFilename(p.Fset, pos)
 }
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{NoDeterminism, StagedCharge, LockSafety, ErrFlow, Hotbox}
+	return []*Analyzer{NoDeterminism, StagedCharge, LockSafety, ErrFlow, Hotbox, ChunkAlias, TierLedger, AllowAudit}
 }
 
 // DirectiveName is the comment prefix of a suppression directive:
@@ -86,6 +136,7 @@ const DirectiveName = "simlint:allow"
 type directive struct {
 	file     string
 	line     int
+	pos      token.Pos
 	analyzer string
 	// funcStart/funcEnd are set when the directive sits in a function's
 	// doc comment, in which case it covers the whole declaration.
@@ -94,18 +145,61 @@ type directive struct {
 
 // Run executes the analyzers over the packages, applies suppression
 // directives and returns the surviving diagnostics sorted by position.
-// Malformed directives are themselves reported (analyzer "simlint") so a
-// typo cannot silently disable a check.
+// Per-package analyzer runs execute in parallel (the shared facts are
+// computed once, then treated as read-only), so the result is
+// deterministic for any GOMAXPROCS. Malformed directives are themselves
+// reported (analyzer "simlint") so a typo cannot silently disable a
+// check; when the AllowAudit analyzer is enabled, directives that no
+// longer suppress anything are reported too.
 func Run(modulePath string, fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	facts := ComputeFacts(fset, pkgs)
+
 	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{ModulePath: modulePath, Packages: pkgs, Fset: fset, analyzer: a, diags: &diags}
-		a.Run(pass)
+	states := make([]any, len(analyzers))
+	for i, a := range analyzers {
+		if a.Init != nil {
+			p := &Pass{ModulePath: modulePath, Packages: pkgs, Fset: fset, Facts: facts, analyzer: a, diags: &diags}
+			states[i] = a.Init(p)
+		}
+	}
+
+	// One result slot per (analyzer, package) pair keeps the merge order
+	// independent of goroutine scheduling.
+	results := make([][]Diagnostic, len(analyzers)*len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
+		for j, pkg := range pkgs {
+			wg.Add(1)
+			slot := i*len(pkgs) + j
+			go func(a *Analyzer, pkg *Package, state any) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				p := &Pass{
+					ModulePath: modulePath, Packages: pkgs, Fset: fset,
+					Facts: facts, Pkg: pkg,
+					analyzer: a, state: state, diags: &results[slot],
+				}
+				a.Run(p)
+			}(a, pkg, states[i])
+		}
+	}
+	wg.Wait()
+	for _, r := range results {
+		diags = append(diags, r...)
 	}
 
 	known := make(map[string]bool)
+	auditEnabled := false
 	for _, a := range analyzers {
 		known[a.Name] = true
+		if a.Name == AllowAudit.Name {
+			auditEnabled = true
+		}
 	}
 	var dirs []directive
 	for _, pkg := range pkgs {
@@ -114,14 +208,38 @@ func Run(modulePath string, fset *token.FileSet, pkgs []*Package, analyzers []*A
 		}
 	}
 
+	matched := make([]bool, len(dirs))
 	kept := diags[:0]
 	for _, d := range diags {
-		if !suppressed(d, dirs) {
-			kept = append(kept, d)
+		if suppressed(d, dirs, matched) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	if auditEnabled {
+		for i, dir := range dirs {
+			if matched[i] || dir.analyzer == AllowAudit.Name {
+				continue
+			}
+			kept = append(kept, Diagnostic{
+				Pos:      fset.Position(dir.pos),
+				Analyzer: AllowAudit.Name,
+				Severity: AllowAudit.Severity,
+				Message: fmt.Sprintf("stale suppression: no %s finding is emitted here anymore; remove the //%s directive",
+					dir.analyzer, DirectiveName),
+			})
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
+	SortDiagnostics(kept)
+	return kept
+}
+
+// SortDiagnostics orders diagnostics by (file, line, analyzer, message)
+// — the canonical reporting order Run returns and the cached driver must
+// reproduce byte-identically on warm runs.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -133,7 +251,6 @@ func Run(modulePath string, fset *token.FileSet, pkgs []*Package, analyzers []*A
 		}
 		return a.Message < b.Message
 	})
-	return kept
 }
 
 // collectDirectives parses every //simlint:allow comment in the file. A
@@ -159,17 +276,17 @@ func collectDirectives(fset *token.FileSet, f *ast.File, known map[string]bool, 
 			pos := fset.Position(c.Pos())
 			fields := strings.Fields(text)
 			if len(fields) < 3 {
-				*diags = append(*diags, Diagnostic{Pos: pos, Analyzer: "simlint",
+				*diags = append(*diags, Diagnostic{Pos: pos, Analyzer: "simlint", Severity: SevError,
 					Message: fmt.Sprintf("malformed directive %q: want //%s <analyzer> <reason>", text, DirectiveName)})
 				continue
 			}
 			name := fields[1]
 			if !known[name] {
-				*diags = append(*diags, Diagnostic{Pos: pos, Analyzer: "simlint",
+				*diags = append(*diags, Diagnostic{Pos: pos, Analyzer: "simlint", Severity: SevError,
 					Message: fmt.Sprintf("directive names unknown analyzer %q", name)})
 				continue
 			}
-			d := directive{file: pos.Filename, line: pos.Line, analyzer: name}
+			d := directive{file: pos.Filename, line: pos.Line, pos: c.Pos(), analyzer: name}
 			if span, ok := funcDocs[group]; ok {
 				d.funcStart, d.funcEnd = span[0], span[1]
 			}
@@ -182,20 +299,23 @@ func collectDirectives(fset *token.FileSet, f *ast.File, known map[string]bool, 
 // suppressed reports whether a diagnostic is covered by a directive: same
 // file and analyzer, and the directive is on the diagnostic's line, the
 // line above it, or is a func-doc directive whose function contains it.
-func suppressed(d Diagnostic, dirs []directive) bool {
-	if d.Analyzer == "simlint" {
+// Every covering directive is recorded in matched so the allowaudit pass
+// can tell live directives from stale ones. Framework diagnostics
+// ("simlint") and allowaudit's own findings cannot be suppressed.
+func suppressed(d Diagnostic, dirs []directive, matched []bool) bool {
+	if d.Analyzer == "simlint" || d.Analyzer == AllowAudit.Name {
 		return false
 	}
-	for _, dir := range dirs {
+	hit := false
+	for i, dir := range dirs {
 		if dir.file != d.Pos.Filename || dir.analyzer != d.Analyzer {
 			continue
 		}
-		if dir.funcEnd > 0 && d.Pos.Line >= dir.funcStart && d.Pos.Line <= dir.funcEnd {
-			return true
-		}
-		if d.Pos.Line == dir.line || d.Pos.Line == dir.line+1 {
-			return true
+		if (dir.funcEnd > 0 && d.Pos.Line >= dir.funcStart && d.Pos.Line <= dir.funcEnd) ||
+			d.Pos.Line == dir.line || d.Pos.Line == dir.line+1 {
+			matched[i] = true
+			hit = true
 		}
 	}
-	return false
+	return hit
 }

@@ -105,7 +105,10 @@ func lineNumber(t *testing.T, diag string) int {
 }
 
 // TestModuleIsClean runs the full suite over the whole module: the tree
-// must stay violation-free (CI enforces the same via cmd/simlint).
+// must stay violation-free (CI enforces the same via cmd/simlint). The
+// walk must reach every layer — the library tree, the cmd/* drivers and
+// the examples/* programs — so a regression in any of them fails here,
+// not just in CI.
 func TestModuleIsClean(t *testing.T) {
 	ld, err := NewLoader(".")
 	if err != nil {
@@ -117,6 +120,19 @@ func TestModuleIsClean(t *testing.T) {
 	}
 	if len(pkgs) < 20 {
 		t.Fatalf("loaded only %d packages; loader is missing the module tree", len(pkgs))
+	}
+	trees := map[string]int{}
+	for _, p := range pkgs {
+		for _, prefix := range []string{"/internal/", "/cmd/", "/examples/"} {
+			if strings.Contains(p.Path, prefix) {
+				trees[prefix]++
+			}
+		}
+	}
+	for _, prefix := range []string{"/internal/", "/cmd/", "/examples/"} {
+		if trees[prefix] == 0 {
+			t.Errorf("no %s packages loaded; the clean check is not covering that tree", prefix)
+		}
 	}
 	diags := Run(ld.ModulePath(), ld.Fset(), pkgs, All())
 	for _, d := range diags {

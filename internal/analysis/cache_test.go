@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTestModule lays out a tiny self-contained module with one clean
+// package and one package carrying a nodeterminism violation.
+func writeTestModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module cachetest\n\ngo 1.21\n",
+		"clean/clean.go": `// Package clean has no findings.
+package clean
+
+// Add adds.
+func Add(a, b int) int { return a + b }
+`,
+		"dirty/dirty.go": `// Package dirty reads the wall clock.
+package dirty
+
+import "time"
+
+// Stamp leaks wall-clock time.
+func Stamp() time.Time { return time.Now() }
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// runModule cold-runs the full suite over the module and returns the
+// loader, resolved dirs and diagnostics.
+func runModule(t *testing.T, root string) (*Loader, []string, []Diagnostic) {
+	t.Helper()
+	ld, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := ld.ResolveDirs(filepath.Join(root, "..."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ld.Load(filepath.Join(root, "..."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ld, dirs, Run(ld.ModulePath(), ld.Fset(), pkgs, All())
+}
+
+// TestCacheRoundTrip pins the cache contract: a stored run is served
+// back identically, package-by-package, including empty entries for
+// clean packages.
+func TestCacheRoundTrip(t *testing.T) {
+	root := writeTestModule(t)
+	_, dirs, diags := runModule(t, root)
+	if len(diags) == 0 {
+		t.Fatal("fixture module produced no diagnostics")
+	}
+
+	cache, err := OpenCache(root, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dir, group := range GroupByDir(dirs, diags) {
+		if err := cache.Store(dir, group); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A fresh cache handle (fresh module hash) must hit on every dir and
+	// reproduce the run byte-for-byte.
+	cache2, err := OpenCache(root, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Diagnostic
+	for _, dir := range dirs {
+		g, ok := cache2.Lookup(dir)
+		if !ok {
+			t.Fatalf("cache miss for %s on an unchanged module", dir)
+		}
+		got = append(got, g...)
+	}
+	SortDiagnostics(got)
+	if len(got) != len(diags) {
+		t.Fatalf("cache returned %d diagnostics, want %d", len(got), len(diags))
+	}
+	for i := range got {
+		if got[i].String() != diags[i].String() || got[i].Severity != diags[i].Severity {
+			t.Errorf("diag %d: cached %q (%s) != cold %q (%s)",
+				i, got[i].String(), got[i].Severity, diags[i].String(), diags[i].Severity)
+		}
+	}
+}
+
+// TestCacheInvalidation pins the two staleness axes: editing any module
+// file invalidates every entry (facts cross package boundaries), and a
+// different analyzer suite never reuses entries.
+func TestCacheInvalidation(t *testing.T) {
+	root := writeTestModule(t)
+	_, dirs, diags := runModule(t, root)
+	cache, err := OpenCache(root, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dir, group := range GroupByDir(dirs, diags) {
+		if err := cache.Store(dir, group); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Edit the clean package: even the dirty package's entry must go
+	// stale, because taint facts flow across packages.
+	cleanGo := filepath.Join(root, "clean", "clean.go")
+	if err := os.WriteFile(cleanGo, []byte("// Package clean has no findings.\npackage clean\n\n// Add adds.\nfunc Add(a, b int) int { return b + a }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edited, err := OpenCache(root, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range dirs {
+		if _, ok := edited.Lookup(dir); ok {
+			t.Errorf("cache hit for %s after a module edit", dir)
+		}
+	}
+
+	// A subset analyzer suite has a different fingerprint: no reuse in
+	// either direction.
+	subset, err := OpenCache(root, []*Analyzer{NoDeterminism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range dirs {
+		if _, ok := subset.Lookup(dir); ok {
+			t.Errorf("cache hit for %s under a different analyzer suite", dir)
+		}
+	}
+}

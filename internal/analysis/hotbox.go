@@ -28,10 +28,17 @@ import (
 // The CI wall-clock harness (cmd/bench) enforces the same invariant
 // dynamically via its allocs/op ceilings; this analyzer catches the
 // regression before it runs.
+//
+// Taint propagates over the shared module call graph with interface
+// bridging: an interface-method call taints every same-named concrete
+// method, since the hot path reaches Partitioner/Sizer implementations
+// through interfaces the static resolver cannot see through.
 var Hotbox = &Analyzer{
-	Name: "hotbox",
-	Doc:  "forbid boxing calls, in-loop interface boxing and element copy loops in task-compute call graphs",
-	Run:  runHotbox,
+	Name:     "hotbox",
+	Doc:      "forbid boxing calls, in-loop interface boxing and element copy loops in task-compute call graphs",
+	Severity: SevWarning,
+	Init:     initHotbox,
+	Run:      runHotbox,
 }
 
 const rddPath = "repro/internal/rdd"
@@ -43,111 +50,47 @@ var boxingAPI = map[string]string{
 	"PartitionOf": "construct the partitioner with NewHashPartitioner so it routes through a resolved Hasher",
 }
 
-// hbNode is one function body (declaration or literal) in the call graph.
-type hbNode struct {
-	name    string
-	entry   bool // has a *executor.TaskContext parameter
-	exempt  bool // the measurement layer itself, or TaskContext methods
-	callees []*types.Func
-	// ifaceCalls are the names of interface methods this body invokes;
-	// taint bridges by name to every concrete method declaration, since
-	// the hot path reaches Partitioner/Sizer implementations through
-	// interfaces the static resolver cannot see through.
-	ifaceCalls []string
-	lits       []*hbNode
-	bad        []scBadCall
-	tainted    bool
+// hotboxExempt exempts the measurement layer itself: TaskContext methods
+// and the boxing APIs (and their compositions, like PartitionOf calling
+// HashAny), which are the layer hot paths must not call, not consumers
+// of it.
+func hotboxExempt(n *Node) bool {
+	if taskCtxMethod(n) {
+		return true
+	}
+	return n.Fn != nil && funcPkgPath(n.Fn) == rddPath && n.Sig != nil && n.Sig.Recv() == nil &&
+		boxingAPI[n.Fn.Name()] != ""
+}
+
+// initHotbox computes the interface-bridged task-compute taint set once
+// from the shared call graph.
+func initHotbox(p *Pass) any {
+	return p.Facts.Reach(taskEntry, hotboxExempt, true)
 }
 
 func runHotbox(p *Pass) {
-	byFunc := make(map[*types.Func]*hbNode)
-	methodsByName := make(map[string][]*hbNode)
-	var all []*hbNode
-
-	for _, pkg := range p.Packages {
-		for _, f := range pkg.Files {
-			if p.IsTestFile(f.Pos()) {
-				continue
-			}
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
-				node := &hbNode{name: fd.Name.Name}
-				if obj != nil {
-					sig := obj.Type().(*types.Signature)
-					node.entry = hasTaskCtxParam(sig)
-					if sig.Recv() != nil {
-						if isNamedType(sig.Recv().Type(), executorPath, "TaskContext") {
-							node.exempt = true
-						}
-						methodsByName[fd.Name.Name] = append(methodsByName[fd.Name.Name], node)
-					}
-					// The boxing APIs themselves (and their compositions,
-					// like PartitionOf calling HashAny) are the measurement
-					// layer, not a hot-path consumer of it.
-					if funcPkgPath(obj) == rddPath && boxingAPI[obj.Name()] != "" {
-						node.exempt = true
-					}
-					byFunc[obj] = node
-				}
-				hbCollectBody(pkg, fd.Body, node, &all)
-				all = append(all, node)
-			}
-		}
-	}
-
-	// Taint everything reachable from an entry, bridging interface-method
-	// calls to same-named concrete methods.
-	var work []*hbNode
-	for _, n := range all {
-		if n.entry && !n.exempt {
-			work = append(work, n)
-		}
-	}
-	for len(work) > 0 {
-		n := work[len(work)-1]
-		work = work[:len(work)-1]
-		if n.tainted || n.exempt {
+	tainted := p.State().(map[*Node]bool)
+	for _, n := range p.Facts.PkgNodes[p.Pkg] {
+		if !tainted[n] {
 			continue
 		}
-		n.tainted = true
-		for _, callee := range n.callees {
-			if cn, ok := byFunc[callee]; ok && !cn.tainted && !cn.exempt {
-				work = append(work, cn)
-			}
-		}
-		for _, name := range n.ifaceCalls {
-			for _, m := range methodsByName[name] {
-				if !m.tainted && !m.exempt {
-					work = append(work, m)
+		for _, cs := range n.Calls {
+			if funcPkgPath(cs.Fn) == rddPath && recvTypeName(cs.Fn) == "" {
+				if advice, ok := boxingAPI[cs.Fn.Name()]; ok {
+					p.Reportf(cs.Call.Pos(), "boxing %s in task-compute code (one allocation per record): %s", cs.Fn.Name(), advice)
 				}
 			}
 		}
-		for _, lit := range n.lits {
-			if !lit.tainted {
-				work = append(work, lit)
-			}
-		}
-	}
-
-	for _, n := range all {
-		if !n.tainted {
-			continue
-		}
-		for _, b := range n.bad {
-			p.Reportf(b.pos, "%s", b.msg)
-		}
+		loops := hbLoopBodies(n.Body)
+		hbFlagCopyLoops(p, n.Pkg, loops)
+		hbFlagLoopConversions(p, n.Pkg, n.Body, loops)
 	}
 }
 
-// hbCollectBody records the node's static callees, interface-method call
-// names, boxing-API calls, in-loop interface conversions and element copy
-// loops, stopping at nested function literals (which become child nodes).
-func hbCollectBody(pkg *Package, body ast.Node, node *hbNode, all *[]*hbNode) {
-	loops := hbLoopBodies(body)
+// hbFlagLoopConversions reports explicit interface conversions of
+// concrete values inside loop bodies — one allocation per iteration.
+// Nested function literals are excluded: they are their own graph nodes.
+func hbFlagLoopConversions(p *Pass, pkg *Package, body ast.Node, loops []*ast.BlockStmt) {
 	inLoop := func(pos token.Pos) bool {
 		for _, b := range loops {
 			if b.Pos() <= pos && pos < b.End() {
@@ -156,52 +99,23 @@ func hbCollectBody(pkg *Package, body ast.Node, node *hbNode, all *[]*hbNode) {
 		}
 		return false
 	}
-	hbFlagCopyLoops(pkg, node, loops)
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.FuncLit:
-			child := &hbNode{name: node.name + ".func"}
-			if sig, ok := pkg.Info.Types[x].Type.(*types.Signature); ok {
-				child.entry = hasTaskCtxParam(sig)
-			}
-			hbCollectBody(pkg, x.Body, child, all)
-			node.lits = append(node.lits, child)
-			*all = append(*all, child)
+			// The walk starts inside a body block, so any literal seen
+			// here is nested and owns its own graph node.
 			return false
 		case *ast.CallExpr:
-			if tv, ok := pkg.Info.Types[x.Fun]; ok && tv.IsType() {
-				// A conversion, not a call: boxing if the target is an
-				// interface and the operand is a concrete value. Only the
-				// in-loop, per-iteration form is a hot-path bug.
-				if types.IsInterface(tv.Type) && len(x.Args) == 1 && inLoop(x.Pos()) {
-					if atv, ok := pkg.Info.Types[x.Args[0]]; ok && atv.IsValue() && !types.IsInterface(atv.Type) {
-						node.bad = append(node.bad, scBadCall{
-							pos: x.Pos(),
-							msg: "per-record interface conversion in a loop in task-compute code (one allocation per iteration): hoist the conversion out of the loop or keep the chunk path monomorphic",
-						})
-					}
-				}
+			tv, ok := pkg.Info.Types[x.Fun]
+			if !ok || !tv.IsType() {
 				return true
 			}
-			fn := calleeFunc(pkg.Info, x)
-			if fn == nil {
-				return true
-			}
-			// Normalize instantiated generics to their origin so callee
-			// lookups match the declaration objects.
-			fn = fn.Origin()
-			sig, _ := fn.Type().(*types.Signature)
-			if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
-				node.ifaceCalls = append(node.ifaceCalls, fn.Name())
-				return true
-			}
-			node.callees = append(node.callees, fn)
-			if funcPkgPath(fn) == rddPath && recvTypeName(fn) == "" {
-				if advice, ok := boxingAPI[fn.Name()]; ok {
-					node.bad = append(node.bad, scBadCall{
-						pos: x.Pos(),
-						msg: "boxing " + fn.Name() + " in task-compute code (one allocation per record): " + advice,
-					})
+			// A conversion, not a call: boxing if the target is an
+			// interface and the operand is a concrete value. Only the
+			// in-loop, per-iteration form is a hot-path bug.
+			if types.IsInterface(tv.Type) && len(x.Args) == 1 && inLoop(x.Pos()) {
+				if atv, ok := pkg.Info.Types[x.Args[0]]; ok && atv.IsValue() && !types.IsInterface(atv.Type) {
+					p.Reportf(x.Pos(), "per-record interface conversion in a loop in task-compute code (one allocation per iteration): hoist the conversion out of the loop or keep the chunk path monomorphic")
 				}
 			}
 		}
@@ -233,7 +147,7 @@ func hbLoopBodies(body ast.Node) []*ast.BlockStmt {
 // append(dst, src...) or copy(dst, src) replaces with a single memmove.
 // Conditional appends (filters) and map-indexed collection loops have no
 // bulk form and are left alone.
-func hbFlagCopyLoops(pkg *Package, node *hbNode, loops []*ast.BlockStmt) {
+func hbFlagCopyLoops(p *Pass, pkg *Package, loops []*ast.BlockStmt) {
 	for _, b := range loops {
 		if len(b.List) != 1 {
 			continue
@@ -271,9 +185,6 @@ func hbFlagCopyLoops(pkg *Package, node *hbNode, loops []*ast.BlockStmt) {
 		if !ok1 || !ok2 || dst.Name != src.Name {
 			continue
 		}
-		node.bad = append(node.bad, scBadCall{
-			pos: as.Pos(),
-			msg: "element-at-a-time copy loop in task-compute code: append(dst, src...) or copy(dst, src) moves the whole column in one step",
-		})
+		p.Reportf(as.Pos(), "element-at-a-time copy loop in task-compute code: append(dst, src...) or copy(dst, src) moves the whole column in one step")
 	}
 }

@@ -14,12 +14,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -103,11 +105,12 @@ func findModule(dir string) (root, modpath string, err error) {
 	}
 }
 
-// Load resolves the given patterns to package directories and returns the
-// type-checked packages sorted by import path. Supported patterns: a
+// ResolveDirs resolves patterns to the absolute package directories they
+// name, without parsing or type-checking anything. Supported patterns: a
 // directory path, or a "dir/..." subtree (testdata directories are only
-// visited when named explicitly).
-func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+// visited when named explicitly). The cached driver uses this to decide
+// hits before paying for a load.
+func (l *Loader) ResolveDirs(patterns ...string) ([]string, error) {
 	var dirs []string
 	seen := make(map[string]bool)
 	add := func(d string) {
@@ -145,6 +148,16 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 			}
 			add(abs)
 		}
+	}
+	return dirs, nil
+}
+
+// Load resolves the given patterns to package directories and returns the
+// type-checked packages sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs, err := l.ResolveDirs(patterns...)
+	if err != nil {
+		return nil, err
 	}
 	var out []*Package
 	for _, dir := range dirs {
@@ -188,6 +201,42 @@ func (l *Loader) walkTree(base string) ([]string, error) {
 		return nil
 	})
 	return dirs, err
+}
+
+// buildIncluded evaluates a file's //go:build constraint (the first one
+// appearing before the package clause) for the host platform. Files with
+// no constraint are included; `//go:build ignore` and foreign-platform
+// files are skipped, mirroring what the go tool would compile here.
+// Legacy "// +build" lines without a //go:build form are rare enough in
+// a single-module tree to ignore.
+func buildIncluded(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break // constraints must precede the package clause
+		}
+		if !constraint.IsGoBuild(trimmed) {
+			continue
+		}
+		expr, err := constraint.Parse(trimmed)
+		if err != nil {
+			return true // malformed constraint: let the type-checker complain
+		}
+		return expr.Eval(func(tag string) bool {
+			return tag == runtime.GOOS || tag == runtime.GOARCH ||
+				tag == "unix" && isUnixGOOS(runtime.GOOS) ||
+				strings.HasPrefix(tag, "go1")
+		})
+	}
+	return true
+}
+
+func isUnixGOOS(goos string) bool {
+	switch goos {
+	case "linux", "darwin", "freebsd", "netbsd", "openbsd", "dragonfly", "solaris", "aix":
+		return true
+	}
+	return false
 }
 
 func isSourceName(name string) bool {
@@ -272,11 +321,22 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 	sort.Strings(names)
 	var files []*ast.File
 	for _, name := range names {
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if !buildIncluded(src) {
+			continue // excluded by its //go:build constraint (e.g. ignore)
+		}
+		f, err := parser.ParseFile(l.fset, path, src, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
 	}
 
 	info := &types.Info{

@@ -19,27 +19,27 @@ import (
 //     trace.Recorder, and anything like them) that touches a sibling
 //     field must acquire the mutex first.
 var LockSafety = &Analyzer{
-	Name: "locksafety",
-	Doc:  "forbid lock copies, sends under lock, and unguarded protected-field access",
-	Run:  runLockSafety,
+	Name:     "locksafety",
+	Doc:      "forbid lock copies, sends under lock, and unguarded protected-field access",
+	Severity: SevError,
+	Run:      runLockSafety,
 }
 
 func runLockSafety(p *Pass) {
-	for _, pkg := range p.Packages {
-		protected := protectedStructs(pkg)
-		for _, f := range pkg.Files {
-			if p.IsTestFile(f.Pos()) {
+	pkg := p.Pkg
+	protected := protectedStructs(pkg)
+	for _, f := range pkg.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		checkLockCopies(p, pkg, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
 				continue
 			}
-			checkLockCopies(p, pkg, f)
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				checkSendUnderLock(p, pkg, fd)
-				checkGuardedFields(p, pkg, fd, protected)
-			}
+			checkSendUnderLock(p, pkg, fd)
+			checkGuardedFields(p, pkg, fd, protected)
 		}
 	}
 }

@@ -22,9 +22,10 @@ import (
 //
 // _test.go files are exempt.
 var NoDeterminism = &Analyzer{
-	Name: "nodeterminism",
-	Doc:  "forbid wall-clock reads, global math/rand and map-iteration-order leaks",
-	Run:  runNoDeterminism,
+	Name:     "nodeterminism",
+	Doc:      "forbid wall-clock reads, global math/rand and map-iteration-order leaks",
+	Severity: SevError,
+	Run:      runNoDeterminism,
 }
 
 // wallClockFuncs are the time package functions that read the wall clock.
@@ -37,16 +38,15 @@ var seededRandCtors = map[string]bool{
 }
 
 func runNoDeterminism(p *Pass) {
-	for _, pkg := range p.Packages {
-		for _, f := range pkg.Files {
-			if p.IsTestFile(f.Pos()) {
-				continue
-			}
-			checkForbiddenCalls(p, pkg, f)
-			for _, decl := range f.Decls {
-				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-					checkMapRanges(p, pkg, fd.Body)
-				}
+	pkg := p.Pkg
+	for _, f := range pkg.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		checkForbiddenCalls(p, pkg, f)
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkMapRanges(p, pkg, fd.Body)
 			}
 		}
 	}

@@ -1,9 +1,7 @@
 package analysis
 
 import (
-	"go/ast"
 	"go/token"
-	"go/types"
 )
 
 // StagedCharge enforces the two-phase scheduler's staging discipline:
@@ -16,9 +14,11 @@ import (
 // order. TaskContext's own methods are the sanctioned staging layer and
 // are exempt.
 var StagedCharge = &Analyzer{
-	Name: "stagedcharge",
-	Doc:  "forbid direct tier/blockmgr/shuffle mutation in task-compute code",
-	Run:  runStagedCharge,
+	Name:     "stagedcharge",
+	Doc:      "forbid direct tier/blockmgr/shuffle mutation in task-compute code",
+	Severity: SevError,
+	Init:     initStagedCharge,
+	Run:      runStagedCharge,
 }
 
 const (
@@ -26,6 +26,7 @@ const (
 	memsimPath   = "repro/internal/memsim"
 	blockmgrPath = "repro/internal/blockmgr"
 	shufflePath  = "repro/internal/shuffle"
+	tieringPath  = "repro/internal/tiering"
 )
 
 // forbiddenInTask maps package path -> receiver type -> method -> advice.
@@ -62,131 +63,40 @@ var forbiddenInTask = map[string]map[string]map[string]string{
 	},
 }
 
-// scNode is one function body (declaration or literal) in the call graph.
-type scNode struct {
-	name    string
-	entry   bool // has a *executor.TaskContext parameter
-	exempt  bool // method of executor.TaskContext: the staging layer itself
-	callees []*types.Func
-	lits    []*scNode // closures defined inside this body
-	bad     []scBadCall
-	tainted bool
-}
-
 type scBadCall struct {
 	pos token.Pos
 	msg string
 }
 
-func runStagedCharge(p *Pass) {
-	byFunc := make(map[*types.Func]*scNode)
-	var all []*scNode
+// taskEntry reports whether the node starts a task-compute call graph: a
+// function or literal with a *executor.TaskContext parameter.
+func taskEntry(n *Node) bool { return n.HasParamType(executorPath, "TaskContext") }
 
-	for _, pkg := range p.Packages {
-		for _, f := range pkg.Files {
-			if p.IsTestFile(f.Pos()) {
+// taskCtxMethod reports whether the node is a method of the staging layer
+// itself.
+func taskCtxMethod(n *Node) bool { return n.IsMethodOf(executorPath, "TaskContext") }
+
+// initStagedCharge computes the task-compute taint set once from the
+// shared call graph.
+func initStagedCharge(p *Pass) any {
+	return p.Facts.Reach(taskEntry, taskCtxMethod, false)
+}
+
+func runStagedCharge(p *Pass) {
+	tainted := p.State().(map[*Node]bool)
+	for _, n := range p.Facts.PkgNodes[p.Pkg] {
+		if !tainted[n] {
+			continue
+		}
+		for _, cs := range n.Calls {
+			byRecv, ok := forbiddenInTask[funcPkgPath(cs.Fn)]
+			if !ok {
 				continue
 			}
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
-				node := &scNode{name: fd.Name.Name}
-				if obj != nil {
-					sig := obj.Type().(*types.Signature)
-					node.entry = hasTaskCtxParam(sig)
-					if sig.Recv() != nil && isNamedType(sig.Recv().Type(), executorPath, "TaskContext") {
-						node.exempt = true
-					}
-					byFunc[obj] = node
-				}
-				collectBody(pkg, fd.Body, node, &all)
-				all = append(all, node)
+			recv := recvTypeName(cs.Fn)
+			if advice, ok := byRecv[recv][cs.Fn.Name()]; ok {
+				p.Reportf(cs.Call.Pos(), "direct %s.%s in task-compute code: %s", recv, cs.Fn.Name(), advice)
 			}
 		}
 	}
-
-	// Taint everything reachable from an entry.
-	var work []*scNode
-	for _, n := range all {
-		if n.entry && !n.exempt {
-			work = append(work, n)
-		}
-	}
-	for len(work) > 0 {
-		n := work[len(work)-1]
-		work = work[:len(work)-1]
-		if n.tainted || n.exempt {
-			continue
-		}
-		n.tainted = true
-		for _, callee := range n.callees {
-			if cn, ok := byFunc[callee]; ok && !cn.tainted && !cn.exempt {
-				work = append(work, cn)
-			}
-		}
-		for _, lit := range n.lits {
-			if !lit.tainted {
-				work = append(work, lit)
-			}
-		}
-	}
-
-	for _, n := range all {
-		if !n.tainted {
-			continue
-		}
-		for _, b := range n.bad {
-			p.Reportf(b.pos, "%s", b.msg)
-		}
-	}
-}
-
-// hasTaskCtxParam reports whether any parameter is *executor.TaskContext.
-func hasTaskCtxParam(sig *types.Signature) bool {
-	params := sig.Params()
-	for i := 0; i < params.Len(); i++ {
-		if isPtrToNamed(params.At(i).Type(), executorPath, "TaskContext") {
-			return true
-		}
-	}
-	return false
-}
-
-// collectBody records the node's static callees and forbidden calls,
-// stopping at nested function literals (which become child nodes: a
-// closure defined in task-compute code is assumed to run in it).
-func collectBody(pkg *Package, body ast.Node, node *scNode, all *[]*scNode) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.FuncLit:
-			child := &scNode{name: node.name + ".func"}
-			if sig, ok := pkg.Info.Types[x].Type.(*types.Signature); ok {
-				child.entry = hasTaskCtxParam(sig)
-			}
-			collectBody(pkg, x.Body, child, all)
-			node.lits = append(node.lits, child)
-			*all = append(*all, child)
-			return false
-		case *ast.CallExpr:
-			fn := calleeFunc(pkg.Info, x)
-			if fn == nil {
-				return true
-			}
-			node.callees = append(node.callees, fn)
-			if byRecv, ok := forbiddenInTask[funcPkgPath(fn)]; ok {
-				if byName, ok := byRecv[recvTypeName(fn)]; ok {
-					if advice, ok := byName[fn.Name()]; ok {
-						node.bad = append(node.bad, scBadCall{
-							pos: x.Pos(),
-							msg: "direct " + recvTypeName(fn) + "." + fn.Name() + " in task-compute code: " + advice,
-						})
-					}
-				}
-			}
-		}
-		return true
-	})
 }

@@ -1,0 +1,24 @@
+// Package allowaudit is simlint test input: suppression directives that
+// no longer suppress anything. Line positions are pinned by
+// allowaudit.golden.
+package allowaudit
+
+import "time"
+
+// live still covers a real nodeterminism finding and is not reported.
+func live() time.Time {
+	return time.Now() //simlint:allow nodeterminism fixture: wall clock wanted here
+}
+
+// stale covers nothing: the wall-clock read was refactored away but the
+// directive survived. allowaudit reports the directive itself.
+func stale() int {
+	//simlint:allow nodeterminism fixture: the call below was refactored away
+	return 42
+}
+
+// wrongName names an analyzer that never fires on this line; the
+// directive is stale from the day it was written.
+func wrongName() time.Time {
+	return time.Now() //simlint:allow errflow fixture: wrong analyzer named
+}

@@ -16,15 +16,27 @@ func bad() {
 	pair()
 }
 
-// explicit discards read as intentional and are clean.
-func explicit() {
+// blanked discards the errors via all-blank assignments.
+func blanked() {
 	_ = mightFail()
+	_, _ = pair()
+}
+
+// deferred drops errors in defers: directly (flagged on the defer) and
+// inside a closure (flagged on the bare statement within).
+func deferred() {
+	defer mightFail()
+	defer func() {
+		mightFail()
+	}()
+}
+
+// explicit handling and partial blanks read as intentional and are
+// clean.
+func explicit() {
 	if err := mightFail(); err != nil {
 		_ = err
 	}
-}
-
-// deferredDiscard is exempt by design: defers routinely drop errors.
-func deferredDiscard() {
-	defer mightFail()
+	v, _ := pair()
+	_ = v
 }

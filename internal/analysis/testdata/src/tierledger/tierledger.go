@@ -1,0 +1,41 @@
+// Package tierledger is simlint test input: direct ledger mutation from
+// task-compute call graphs. Line positions are pinned by
+// tierledger.golden.
+package tierledger
+
+import (
+	"repro/internal/blockmgr"
+	"repro/internal/executor"
+	"repro/internal/memsim"
+	"repro/internal/tiering"
+)
+
+// badCompute mutates the hotness and copy ledgers from task-compute code.
+func badCompute(ctx *executor.TaskContext, led *tiering.Ledger, t *memsim.Tier) {
+	ctx.CPU(100)
+	led.BlockAccessed(blockmgr.BlockID{RDD: 1, Partition: 2}, 64)
+	t.MergeCopies(memsim.CopyCounters{LocalChunks: 1})
+	decayHelper(led)
+}
+
+// decayHelper is reachable from badCompute, so its decay call is tainted
+// through the shared call graph even though it has no ctx parameter.
+func decayHelper(led *tiering.Ledger) {
+	led.Decay(0.5)
+}
+
+// badResidency rebinds chunk residency and landing tiers mid-task.
+func badResidency(ctx *executor.TaskContext, cs *blockmgr.ChunkStore, m *blockmgr.Manager) {
+	ctx.CPU(100)
+	cs.ChunkPut(1, 2, 64)
+	cs.SetLandingTier(memsim.Tier2)
+	m.SetResidency(blockmgr.BlockID{RDD: 1}, memsim.Tier0)
+}
+
+// driverWiring is driver code (no TaskContext anywhere in its graph):
+// observer wiring and engine-driven decay are the sanctioned paths, so
+// nothing here is flagged.
+func driverWiring(m *blockmgr.Manager, led *tiering.Ledger) {
+	m.SetObserver(led)
+	led.Decay(0.5)
+}

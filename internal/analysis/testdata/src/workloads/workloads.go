@@ -1,0 +1,23 @@
+// Package workloads is simlint test input for the tierledger analyzer's
+// second entry rule: every function in a package whose import path ends
+// in /workloads is a forbidden call graph — workload implementations
+// describe computation shapes and must never reach into the engine's
+// accounting, with or without a TaskContext in sight. Line positions are
+// pinned by workloads.golden.
+package workloads
+
+import (
+	"repro/internal/blockmgr"
+	"repro/internal/tiering"
+)
+
+// buildPhase mutates the hotness ledger from a workload body: flagged
+// even though no TaskContext parameter taints it.
+func buildPhase(led *tiering.Ledger) {
+	led.BlockPut(blockmgr.BlockID{RDD: 1}, 128)
+}
+
+// describe only shapes the computation: clean.
+func describe() (rdds, partitions int) {
+	return 2, 8
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// TierLedger protects the three tiering ledgers PR 5 and PR 6 introduced
+// — the hotness EWMA (tiering.Ledger), chunk residency
+// (blockmgr.ChunkStore and the manager's residency table), and the copy
+// ledger (memsim.CopyCounters) — the same way stagedcharge protects the
+// tier counters: they may only be mutated through the sanctioned paths.
+// Hotness updates arrive via the block manager's observer dispatch,
+// residency via the shuffle store's ledger callbacks and the tiering
+// engine's migrations, and copy counters via TaskContext.Commit's staged
+// merge. A direct mutation from a task-compute call graph (any function
+// reachable from a *executor.TaskContext parameter) or from a workload
+// implementation corrupts the ledgers the migration policies and the
+// copy study read, without tripping any test that only checks virtual
+// time.
+//
+// The owning packages (tiering, blockmgr, shuffle, memsim) and
+// TaskContext's own methods are the sanctioned paths and are exempt.
+var TierLedger = &Analyzer{
+	Name:     "tierledger",
+	Doc:      "forbid direct hotness/residency/copy-ledger mutation outside the observer and staged-commit paths",
+	Severity: SevError,
+	Init:     initTierLedger,
+	Run:      runTierLedger,
+}
+
+// ledgerMutators maps package path -> receiver type -> method -> advice.
+var ledgerMutators = map[string]map[string]map[string]string{
+	tieringPath: {
+		"Ledger": {
+			"BlockAccessed": "hotness updates arrive via the block manager's observer dispatch (SetObserver), never directly",
+			"BlockPut":      "hotness updates arrive via the block manager's observer dispatch (SetObserver), never directly",
+			"BlockEvicted":  "hotness updates arrive via the block manager's observer dispatch (SetObserver), never directly",
+			"BlockDropped":  "hotness updates arrive via the block manager's observer dispatch (SetObserver), never directly",
+			"Decay":         "EWMA decay is the tiering engine's epoch tick, not task or workload code",
+		},
+	},
+	blockmgrPath: {
+		"ChunkStore": {
+			"ChunkPut":       "chunk residency is maintained by the shuffle store's ledger callbacks (SetLedger), driven by partition-ordered commits",
+			"ChunkDropped":   "chunk residency is maintained by the shuffle store's ledger callbacks (SetLedger), driven by partition-ordered commits",
+			"SetLandingTier": "landing tiers are rebound by the tiering engine and driver wiring, never mid-task",
+		},
+		"Manager": {
+			"SetResidency":   "block residency moves only when the tiering engine applies a migration plan",
+			"SetLandingTier": "landing tiers are rebound by the tiering engine and driver wiring, never mid-task",
+		},
+	},
+	memsimPath: {
+		"Tier": {
+			"MergeCopies": "copy-ledger deltas are staged in the task context and merged by Commit in partition order",
+		},
+		"CopyCounters": {
+			"Add": "copy-ledger deltas are staged in the task context and merged by Commit in partition order",
+		},
+	},
+}
+
+// ledgerOwnerPkgs are the packages whose own code is the sanctioned
+// mutation path.
+var ledgerOwnerPkgs = map[string]bool{
+	tieringPath:  true,
+	blockmgrPath: true,
+	shufflePath:  true,
+	memsimPath:   true,
+}
+
+// tlExempt reports whether the node is a sanctioned mutation path: the
+// staging layer (TaskContext methods) or the ledger-owning packages
+// themselves.
+func tlExempt(n *Node) bool {
+	return taskCtxMethod(n) || ledgerOwnerPkgs[n.Pkg.Path]
+}
+
+// tlEntry marks the call graphs the ledgers must stay out of reach of:
+// task-compute entries (like stagedcharge) and every workload
+// implementation — workloads describe computation shapes and must not
+// reach into the engine's accounting.
+func tlEntry(n *Node) bool {
+	if taskEntry(n) {
+		return true
+	}
+	return n.Pkg.Path == workloadsPath || strings.HasSuffix(n.Pkg.Path, "/workloads")
+}
+
+const workloadsPath = "repro/internal/workloads"
+
+// initTierLedger computes the forbidden call-graph taint set once from
+// the shared call graph.
+func initTierLedger(p *Pass) any {
+	return p.Facts.Reach(tlEntry, tlExempt, false)
+}
+
+func runTierLedger(p *Pass) {
+	tainted := p.State().(map[*Node]bool)
+	for _, n := range p.Facts.PkgNodes[p.Pkg] {
+		if !tainted[n] {
+			continue
+		}
+		for _, cs := range n.Calls {
+			byRecv, ok := ledgerMutators[funcPkgPath(cs.Fn)]
+			if !ok {
+				continue
+			}
+			recv := recvTypeName(cs.Fn)
+			if advice, ok := byRecv[recv][cs.Fn.Name()]; ok {
+				p.Reportf(cs.Call.Pos(), "direct %s.%s from a task or workload call graph: %s", recv, cs.Fn.Name(), advice)
+			}
+		}
+	}
+}
