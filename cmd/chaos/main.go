@@ -92,7 +92,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	out := flag.String("out", "", "write the markdown report to this path")
 	smoke := flag.Bool("smoke", false, "CI subset: crash-replace + abort per workload on tier 0")
+	multijob := flag.Bool("multijob", false, "multi-tenant mode: crash while >=2 jobs are in flight, assert per-job recovery isolation")
 	flag.Parse()
+
+	if *multijob {
+		os.Exit(runMultiJob(*seed))
+	}
 
 	size, err := parseSize(*sizeFlag)
 	if err != nil {

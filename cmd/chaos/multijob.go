@@ -1,0 +1,159 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/multitenant"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// multiJobConf is the multi-tenant chaos mix: two tenants whose jobs
+// overlap in virtual time under the default (uncontended) DRAM budget,
+// with an optional executor crash injected into tenant a's first job.
+func multiJobConf(seed int64, faulted bool) multitenant.Conf {
+	c := multitenant.Conf{
+		Tenants: []multitenant.TenantSpec{
+			{Name: "a", Jobs: 2, FastQuotaBytes: 32 << 10},
+			{Name: "b", Jobs: 2, FastQuotaBytes: 4 << 20},
+		},
+		Workloads:        []string{"sort", "bayes"},
+		Size:             workloads.Tiny,
+		Executors:        2,
+		CoresPerExecutor: 2,
+		Seed:             seed,
+	}
+	if faulted {
+		c.Faults = func(tenant, seq int) *faults.Plan {
+			if tenant == 0 && seq == 0 {
+				return &faults.Plan{Crashes: []faults.Crash{
+					{Exec: 1, At: 2 * sim.Millisecond, Replace: true},
+				}}
+			}
+			return nil
+		}
+	}
+	return c
+}
+
+// runMultiJob asserts the per-job fault-recovery invariants of the
+// multi-tenant engine: a crash injected while at least two jobs are in
+// flight recovers through lineage without touching any other job — every
+// result matches the fault-free mix, the untouched jobs' virtual
+// durations are bit-identical, recovery counters stay inside the faulted
+// tenant's prefix, both tenant ledgers drain to zero, and the faulted
+// mix's full report is byte-identical across phase-1 worker counts.
+func runMultiJob(seed int64) int {
+	failures := 0
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "FAIL multijob: "+format+"\n", args...)
+		failures++
+	}
+
+	clean, err := multitenant.Run(multiJobConf(seed, false))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos multijob: fault-free mix: %v\n", err)
+		return 1
+	}
+	faulted, err := multitenant.Run(multiJobConf(seed, true))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos multijob: faulted mix: %v\n", err)
+		return 1
+	}
+	if faulted.Completed != len(faulted.Jobs) {
+		fail("faulted mix completed %d of %d jobs", faulted.Completed, len(faulted.Jobs))
+	}
+
+	// The crash must land while at least one other job is in flight.
+	target := faulted.Jobs[jobIndex(faulted, "a", 0)]
+	overlap := 0
+	for i, r := range faulted.Jobs {
+		if i == jobIndex(faulted, "a", 0) || !r.Admitted {
+			continue
+		}
+		if r.AdmitAt < target.DoneAt && r.DoneAt > target.AdmitAt {
+			overlap++
+		}
+	}
+	if overlap == 0 {
+		fail("crash landed with no other job in flight")
+	}
+
+	// Lineage recovery must reproduce every fault-free result, and jobs
+	// the crash never touched must not even shift in virtual time.
+	for i, fr := range faulted.Jobs {
+		cr := clean.Jobs[i]
+		if fr.Job.Tenant != cr.Job.Tenant || fr.Job.Seq != cr.Job.Seq {
+			fail("mix order diverged at %d: %s vs %s", i, fr.Job, cr.Job)
+			continue
+		}
+		if fr.Records != cr.Records {
+			fail("%s records %d differ from fault-free %d", fr.Job, fr.Records, cr.Records)
+		}
+		isTarget := fr.Job.Tenant == "a" && fr.Job.Seq == 0
+		if !isTarget && fr.Duration != cr.Duration {
+			fail("untouched job %s duration %d differs from fault-free %d",
+				fr.Job, int64(fr.Duration), int64(cr.Duration))
+		}
+	}
+
+	// Recovery counters stay inside the faulted tenant's prefix.
+	if got := faulted.Registry.Get("tenant.a.recovery.executor_crashes"); got != 1 {
+		fail("tenant.a.recovery.executor_crashes = %d, want 1", got)
+	}
+	if got := faulted.Registry.Get("tenant.b.recovery.executor_crashes"); got != 0 {
+		fail("crash bled into tenant b (recovery.executor_crashes = %d)", got)
+	}
+
+	// No cross-tenant ledger bleed: both runs drain both quotas to zero.
+	for _, res := range []*multitenant.MixResult{clean, faulted} {
+		for _, tenant := range []string{"a", "b"} {
+			for _, g := range []string{"quota.end_fast_bytes", "quota.end_slow_bytes"} {
+				if v := res.Registry.Get("tenant." + tenant + "." + g); v != 0 {
+					fail("tenant %s ledger not drained: %s = %d", tenant, g, v)
+				}
+			}
+		}
+	}
+
+	// Recovery under contention must stay byte-identical for any phase-1
+	// worker count.
+	r1 := renderMultiJobAt(seed, 1, fail)
+	r8 := renderMultiJobAt(seed, 8, fail)
+	if r1 != "" && r8 != "" && r1 != r8 {
+		fail("faulted mix report differs between 1 and 8 phase-1 workers")
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "chaos multijob: %d assertion failures\n", failures)
+		return 1
+	}
+	fmt.Printf("multijob: crash recovered with %d jobs overlapping; %d jobs byte-identical to fault-free mix; ledgers drained\n",
+		overlap, len(faulted.Jobs))
+	return 0
+}
+
+func renderMultiJobAt(seed int64, workers int, fail func(string, ...interface{})) string {
+	old := cluster.DefaultTaskParallelism
+	cluster.DefaultTaskParallelism = workers
+	defer func() { cluster.DefaultTaskParallelism = old }()
+	res, err := multitenant.Run(multiJobConf(seed, true))
+	if err != nil {
+		fail("faulted mix (workers=%d): %v", workers, err)
+		return ""
+	}
+	return multitenant.RenderReport(res)
+}
+
+// jobIndex finds a (tenant, seq) job in the submission-ordered results.
+func jobIndex(res *multitenant.MixResult, tenant string, seq int) int {
+	for i, r := range res.Jobs {
+		if r.Job.Tenant == tenant && r.Job.Seq == seq {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("chaos multijob: job %s/%d missing from mix", tenant, seq))
+}

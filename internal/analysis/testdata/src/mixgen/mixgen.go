@@ -1,0 +1,70 @@
+// Package mixgen is simlint test input: a workload-mix generator in the
+// shape of multitenant.GenerateMix, with the nodeterminism violations a
+// naive port would introduce and the sanctioned hash-seeded counterpart.
+// Line positions are pinned by mixgen.golden.
+package mixgen
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// job is a stand-in for the generated mix entry.
+type job struct {
+	workload string
+	arrival  int64
+	demand   int64
+}
+
+// demandTable maps workload name to a nominal cache footprint.
+var demandTable = map[string]int64{
+	"sort":     256 << 10,
+	"bayes":    768 << 10,
+	"pagerank": 288 << 10,
+}
+
+// badMix is the naive generator: wall-clock arrivals, the shared
+// unseeded rand source for workload picks and jitter, and a demand table
+// walked in map order.
+func badMix(n int) []job {
+	var names []string
+	for name := range demandTable {
+		names = append(names, name)
+	}
+	var out []job
+	for i := 0; i < n; i++ {
+		w := names[rand.Intn(len(names))]
+		out = append(out, job{
+			workload: w,
+			arrival:  time.Now().UnixNano(),
+			demand:   int64(float64(demandTable[w]) * (0.8 + 0.45*rand.Float64())),
+		})
+	}
+	return out
+}
+
+// goodMix is the sanctioned pattern: every draw is a salted counter hash
+// of the experiment seed, and the demand table is walked in sorted key
+// order, so the same seed yields the same mix on any host.
+func goodMix(seed int64, n int) []job {
+	var names []string
+	for name := range demandTable {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []job
+	for i := 0; i < n; i++ {
+		w := names[faults.Mix(uint64(seed), 0x77a1, uint64(i))%uint64(len(names))]
+		jitter := 0.8 + 0.45*faults.Uniform(faults.Mix(uint64(seed), 0xd3f0, uint64(i)))
+		out = append(out, job{
+			workload: w,
+			arrival:  int64(faults.Mix(uint64(seed), 0xa221, uint64(i)) % 1000),
+			demand:   int64(float64(demandTable[w]) * jitter),
+		})
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].arrival < out[b].arrival })
+	return out
+}

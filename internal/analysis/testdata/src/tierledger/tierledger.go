@@ -39,3 +39,39 @@ func driverWiring(m *blockmgr.Manager, led *tiering.Ledger) {
 	m.SetObserver(led)
 	led.Decay(0.5)
 }
+
+// badQuota charges the per-tenant quota and the admission capacity
+// ledger from task-compute code: quota charges belong to the block
+// manager's commit-path placement and the admission engine.
+func badQuota(ctx *executor.TaskContext, q *blockmgr.TenantQuota, m *blockmgr.Manager, cl *memsim.CapacityLedger) {
+	ctx.CPU(100)
+	if _, err := q.Place(blockmgr.BlockID{RDD: 3, Partition: 1}, 128); err != nil {
+		return
+	}
+	q.Release(memsim.Tier0, 128)
+	q.Move(memsim.Tier0, memsim.Tier2, 64)
+	m.SetQuota(q)
+	if err := cl.Reserve(memsim.Tier0, 256); err == nil {
+		cl.Release(memsim.Tier0, 256)
+	}
+	sessionHelper(q)
+}
+
+// sessionHelper is reachable from badQuota, so its job-session calls are
+// tainted through the shared call graph despite having no ctx parameter.
+func sessionHelper(q *blockmgr.TenantQuota) {
+	q.BeginJob()
+	q.ReleaseHoldings(q.EndJob())
+}
+
+// admissionWiring is driver code: reserve-at-admit, budget setup and job
+// sessions on the driver goroutine are the sanctioned paths, so nothing
+// here is flagged.
+func admissionWiring(q *blockmgr.TenantQuota, cl *memsim.CapacityLedger) {
+	cl.SetBudget(memsim.Tier0, 1<<20)
+	if err := cl.Reserve(memsim.Tier0, 512); err == nil {
+		q.BeginJob()
+		q.ReleaseHoldings(q.EndJob())
+		cl.Release(memsim.Tier0, 512)
+	}
+}

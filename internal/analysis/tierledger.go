@@ -4,15 +4,18 @@ import (
 	"strings"
 )
 
-// TierLedger protects the three tiering ledgers PR 5 and PR 6 introduced
-// — the hotness EWMA (tiering.Ledger), chunk residency
-// (blockmgr.ChunkStore and the manager's residency table), and the copy
-// ledger (memsim.CopyCounters) — the same way stagedcharge protects the
-// tier counters: they may only be mutated through the sanctioned paths.
-// Hotness updates arrive via the block manager's observer dispatch,
-// residency via the shuffle store's ledger callbacks and the tiering
-// engine's migrations, and copy counters via TaskContext.Commit's staged
-// merge. A direct mutation from a task-compute call graph (any function
+// TierLedger protects the tiering ledgers PR 5 and PR 6 introduced — the
+// hotness EWMA (tiering.Ledger), chunk residency (blockmgr.ChunkStore and
+// the manager's residency table), and the copy ledger
+// (memsim.CopyCounters) — plus the multi-tenant accounting PR 8 added
+// (blockmgr.TenantQuota and memsim.CapacityLedger), the same way
+// stagedcharge protects the tier counters: they may only be mutated
+// through the sanctioned paths. Hotness updates arrive via the block
+// manager's observer dispatch, residency via the shuffle store's ledger
+// callbacks and the tiering engine's migrations, copy counters via
+// TaskContext.Commit's staged merge, and quota/capacity charges via the
+// block manager's commit-path placement and the admission engine's
+// driver goroutine. A direct mutation from a task-compute call graph (any function
 // reachable from a *executor.TaskContext parameter) or from a workload
 // implementation corrupts the ledgers the migration policies and the
 // copy study read, without tripping any test that only checks virtual
@@ -48,6 +51,15 @@ var ledgerMutators = map[string]map[string]map[string]string{
 		"Manager": {
 			"SetResidency":   "block residency moves only when the tiering engine applies a migration plan",
 			"SetLandingTier": "landing tiers are rebound by the tiering engine and driver wiring, never mid-task",
+			"SetQuota":       "tenant quotas are attached at cluster construction and crash replacement, never mid-task",
+		},
+		"TenantQuota": {
+			"Place":           "tenant-quota charges happen inside the block manager's commit-path placement, never directly",
+			"Release":         "tenant-quota charges happen inside the block manager's commit-path placement, never directly",
+			"Move":            "cross-tier quota transfers belong to the tiering engine's migration apply step",
+			"BeginJob":        "job sessions open and settle on the admission engine's driver goroutine",
+			"EndJob":          "job sessions open and settle on the admission engine's driver goroutine",
+			"ReleaseHoldings": "job sessions open and settle on the admission engine's driver goroutine",
 		},
 	},
 	memsimPath: {
@@ -56,6 +68,11 @@ var ledgerMutators = map[string]map[string]map[string]string{
 		},
 		"CopyCounters": {
 			"Add": "copy-ledger deltas are staged in the task context and merged by Commit in partition order",
+		},
+		"CapacityLedger": {
+			"Reserve":   "DRAM admission reservations are made and released by the admission engine, never from task or workload code",
+			"Release":   "DRAM admission reservations are made and released by the admission engine, never from task or workload code",
+			"SetBudget": "the cluster DRAM budget is fixed by the admission engine at mix start",
 		},
 	},
 }

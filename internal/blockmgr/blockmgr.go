@@ -90,6 +90,12 @@ type Manager struct {
 	landing  memsim.TierID
 	tierUsed [memsim.NumTiers]int64
 	obs      Observer
+	// quota, when set, meters placements against the owning tenant's
+	// two-tier budget: new blocks land per TenantQuota.Place (graceful
+	// spill to the slow tier), removals release their bytes, and
+	// migrations are admitted through the quota's Move. Nil disables
+	// metering entirely.
+	quota *TenantQuota
 
 	hits      int64
 	misses    int64
@@ -133,8 +139,31 @@ func (m *Manager) SetLandingTier(t memsim.TierID) {
 	m.landing = t
 }
 
-// LandingTier returns the tier newly stored blocks land on.
+// LandingTier returns the configured tier newly stored blocks land on
+// (before quota-driven spilling).
 func (m *Manager) LandingTier() memsim.TierID { return m.landing }
+
+// SetQuota installs the owning tenant's memory quota (nil uninstalls).
+// Driver wiring only — the executor pool attaches it at construction and
+// re-attaches it when a crashed executor is replaced.
+func (m *Manager) SetQuota(q *TenantQuota) { m.quota = q }
+
+// Quota returns the installed tenant quota, nil when unmetered.
+func (m *Manager) Quota() *TenantQuota { return m.quota }
+
+// PlannedLandingTier is the tier a new block would be resident on right
+// now: the configured landing tier, unless a tenant quota is installed
+// and its fast budget is exhausted, in which case new blocks degrade to
+// the quota's slow tier. The charge path resolves new-block bursts
+// through this; during a stage quota usage is frozen (all mutations are
+// commit-time, on the driver goroutine), so phase-1 workers read a stable
+// answer regardless of worker count.
+func (m *Manager) PlannedLandingTier() memsim.TierID {
+	if m.quota != nil {
+		return m.quota.PlannedLanding(0)
+	}
+	return m.landing
+}
 
 // TierOf returns the tier a block is resident on.
 func (m *Manager) TierOf(id BlockID) (memsim.TierID, bool) {
@@ -155,9 +184,12 @@ func (m *Manager) TierUsed(t memsim.TierID) int64 {
 }
 
 // SetResidency rebinds a resident block to another tier and reports
-// whether the block existed. It is the tiering engine's migration
+// whether the rebind happened. It is the tiering engine's migration
 // primitive: pure metadata — LRU order, stats and capacity are untouched;
-// the engine charges the actual data movement to the memory system.
+// the engine charges the actual data movement to the memory system. Under
+// a tenant quota the move must fit the destination budget (the engine
+// pre-filters its plans with CanMigrate, so a refusal here means the
+// caller skipped that step).
 func (m *Manager) SetResidency(id BlockID, to memsim.TierID) bool {
 	if !to.Valid() {
 		panic(fmt.Sprintf("blockmgr: invalid residency tier %d for %s", to, id))
@@ -166,10 +198,25 @@ func (m *Manager) SetResidency(id BlockID, to memsim.TierID) bool {
 	if !ok {
 		return false
 	}
+	if m.quota != nil && !m.quota.Move(e.tier, to, e.bytes) {
+		return false
+	}
 	m.tierUsed[e.tier] -= e.bytes
 	e.tier = to
 	m.tierUsed[to] += e.bytes
 	return true
+}
+
+// CanMigrate reports whether rebinding a resident block to the given tier
+// would be admitted by the tenant quota (always true when unmetered). The
+// tiering engine filters planned moves through this before charging any
+// migration traffic.
+func (m *Manager) CanMigrate(id BlockID, to memsim.TierID) bool {
+	e, ok := m.blocks[id]
+	if !ok {
+		return false
+	}
+	return m.quota == nil || m.quota.CanMove(e.tier, to, e.bytes)
 }
 
 // Blocks lists every resident block ordered by id — the deterministic
@@ -239,16 +286,18 @@ func (m *Manager) ReplayMiss() { m.misses++ }
 // A block larger than the whole capacity is not stored (Spark drops such
 // partitions rather than thrashing the cache). The stored block is
 // resident on the landing tier, even when it overwrites a block that had
-// been migrated elsewhere (an overwrite rewrites the data).
+// been migrated elsewhere (an overwrite rewrites the data). Under a
+// tenant quota the quota's Place decides the tier instead — fast while
+// the fast budget holds, spilled to the slow tier after that — and a
+// placement that fits neither budget panics with *QuotaExceededError;
+// Put runs on the driver's partition-ordered commit path, so harness
+// entry points recover the panic into a typed per-job error.
 func (m *Manager) Put(id BlockID, data any, bytes int64, items int) (evicted []BlockID) {
 	if bytes < 0 {
 		panic(fmt.Sprintf("blockmgr: negative block size %d for %s", bytes, id))
 	}
 	if old, ok := m.blocks[id]; ok {
-		m.used -= old.bytes
-		m.tierUsed[old.tier] -= old.bytes
-		m.lru.Remove(old.elem)
-		delete(m.blocks, id)
+		m.removeEntry(old)
 	}
 	if m.capacity > 0 && bytes > m.capacity {
 		return nil
@@ -262,7 +311,15 @@ func (m *Manager) Put(id BlockID, data any, bytes int64, items int) (evicted []B
 			m.obs.BlockEvicted(victim.id, victim.bytes)
 		}
 	}
-	e := &entry{id: id, data: data, bytes: bytes, items: items, tier: m.landing}
+	tier := m.landing
+	if m.quota != nil {
+		placed, err := m.quota.Place(id, bytes)
+		if err != nil {
+			panic(err)
+		}
+		tier = placed
+	}
+	e := &entry{id: id, data: data, bytes: bytes, items: items, tier: tier}
 	e.elem = m.lru.PushFront(e)
 	m.blocks[id] = e
 	m.used += bytes
@@ -294,6 +351,13 @@ func (m *Manager) Remove(id BlockID) bool {
 func (m *Manager) RemoveAll() (blocks int, bytes int64) {
 	blocks = len(m.blocks)
 	bytes = m.used
+	if m.quota != nil {
+		// Return every block's bytes to the tenant budget; per-tier sums
+		// are order-independent, so plain map iteration is fine.
+		for _, e := range m.blocks {
+			m.quota.Release(e.tier, e.bytes)
+		}
+	}
 	if m.obs != nil && blocks > 0 {
 		// Notify in id order so observers see a deterministic drop
 		// sequence regardless of map iteration order.
@@ -323,4 +387,7 @@ func (m *Manager) removeEntry(e *entry) {
 	delete(m.blocks, e.id)
 	m.used -= e.bytes
 	m.tierUsed[e.tier] -= e.bytes
+	if m.quota != nil {
+		m.quota.Release(e.tier, e.bytes)
+	}
 }

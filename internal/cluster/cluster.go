@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/blockmgr"
 	"repro/internal/energy"
 	"repro/internal/executor"
 	"repro/internal/faults"
@@ -73,6 +74,14 @@ type Conf struct {
 	// policy attaches the engine (ledgers observe, gauges publish) but
 	// never migrates — byte-identical to a nil config.
 	Tiering *tiering.Config
+	// Quota meters the application's cached blocks against the owning
+	// tenant's two-tier memory budget (see blockmgr.TenantQuota): blocks
+	// over the fast budget degrade to the slow tier, and exhaustion of
+	// both surfaces as a typed *blockmgr.QuotaExceededError. The quota
+	// object is shared by every App of the tenant — the multitenant
+	// admission engine passes the same pointer to concurrent jobs so
+	// budgets are enforced cluster-wide. Nil disables metering.
+	Quota *blockmgr.TenantQuota
 }
 
 // DefaultConf is the paper's default deployment: one executor using all 40
@@ -117,6 +126,11 @@ func (c Conf) Validate() error {
 	}
 	if c.Tiering != nil {
 		if err := c.Tiering.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Quota != nil {
+		if err := c.Quota.Validate(); err != nil {
 			return err
 		}
 	}
@@ -171,6 +185,9 @@ func New(conf Conf) *App {
 		placement = *conf.Placement
 	}
 	pool := executor.NewPlacedPool(conf.Executors, conf.CoresPerExecutor, conf.Binding, sys, placement, conf.CacheCapacity)
+	if conf.Quota != nil {
+		pool.AttachQuota(conf.Quota)
+	}
 	a := &App{
 		conf:  conf,
 		kern:  k,

@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"strings"
 	"testing"
 
+	"repro/internal/blockmgr"
 	"repro/internal/executor"
 	"repro/internal/memsim"
 	"repro/internal/numa"
@@ -32,6 +34,62 @@ func TestConfValidation(t *testing.T) {
 	for i, c := range bad {
 		if c.Validate() == nil {
 			t.Errorf("conf %d accepted: %+v", i, c)
+		}
+	}
+}
+
+// TestConfValidateQuota pins the rejection messages of the tenant-quota
+// knob and checks a valid quota reaches every executor's block manager.
+func TestConfValidateQuota(t *testing.T) {
+	cases := []struct {
+		name  string
+		quota *blockmgr.TenantQuota
+		want  string // "" accepts
+	}{
+		{"nil quota ok", nil, ""},
+		{"valid quota ok", &blockmgr.TenantQuota{
+			Tenant: "t", Fast: memsim.Tier0, Slow: memsim.Tier2, FastBudgetBytes: 1 << 20}, ""},
+		{"unnamed tenant", &blockmgr.TenantQuota{
+			Fast: memsim.Tier0, Slow: memsim.Tier2, FastBudgetBytes: 1}, "empty tenant name"},
+		{"same tiers", &blockmgr.TenantQuota{
+			Tenant: "t", Fast: memsim.Tier2, Slow: memsim.Tier2, FastBudgetBytes: 1},
+			"fast and slow tier are both"},
+		{"zero fast budget", &blockmgr.TenantQuota{
+			Tenant: "t", Fast: memsim.Tier0, Slow: memsim.Tier2}, "needs FastBudgetBytes > 0"},
+		{"negative slow budget", &blockmgr.TenantQuota{
+			Tenant: "t", Fast: memsim.Tier0, Slow: memsim.Tier2,
+			FastBudgetBytes: 1, SlowBudgetBytes: -1}, "negative SlowBudgetBytes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			conf := DefaultConf()
+			conf.CoresPerExecutor = 4
+			conf.Quota = tc.quota
+			err := conf.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+
+	conf := DefaultConf()
+	conf.CoresPerExecutor = 4
+	conf.Executors = 2
+	conf.Quota = &blockmgr.TenantQuota{
+		Tenant: "t", Fast: memsim.Tier0, Slow: memsim.Tier2, FastBudgetBytes: 1 << 20}
+	app := New(conf)
+	if app.Pool().Quota() != conf.Quota {
+		t.Fatal("pool did not adopt the conf quota")
+	}
+	for i, ex := range app.Pool().Executors {
+		if ex.Blocks.Quota() != conf.Quota {
+			t.Fatalf("executor %d block manager missing the quota", i)
 		}
 	}
 }

@@ -303,12 +303,12 @@ func (c *TaskContext) cacheTierFor(id blockmgr.BlockID) *memsim.Tier {
 		return c.CacheTier
 	}
 	if _, ok := c.overlay[id]; ok {
-		return c.Sys.Tier(c.Blocks.LandingTier())
+		return c.Sys.Tier(c.Blocks.PlannedLandingTier())
 	}
 	if tid, ok := c.Blocks.TierOf(id); ok {
 		return c.Sys.Tier(tid)
 	}
-	return c.Sys.Tier(c.Blocks.LandingTier())
+	return c.Sys.Tier(c.Blocks.PlannedLandingTier())
 }
 
 // Disk charges a blocking HDFS disk transfer of the given size — a stall

@@ -46,8 +46,11 @@ type Pool struct {
 	// identically configured executor in a dead slot.
 	binding       numa.Binding
 	cacheCapacity int64
-	dead          []bool
-	deadCount     int
+	// quota is the owning tenant's memory quota, kept so Replace can
+	// re-attach it to a fresh block manager; nil when unmetered.
+	quota     *blockmgr.TenantQuota
+	dead      []bool
+	deadCount int
 }
 
 // NewPool builds n identical executors of coresEach cores, bound to
@@ -95,6 +98,19 @@ func (p *Pool) CacheTier() *memsim.Tier { return p.sys.Tier(p.placement.Cache) }
 
 // ChunkStore returns the pool's shuffle-chunk residency ledger.
 func (p *Pool) ChunkStore() *blockmgr.ChunkStore { return p.chunks }
+
+// AttachQuota installs the owning tenant's memory quota on every
+// executor's block manager (and remembers it for Replace). Driver wiring
+// only, before jobs run.
+func (p *Pool) AttachQuota(q *blockmgr.TenantQuota) {
+	p.quota = q
+	for _, ex := range p.Executors {
+		ex.Blocks.SetQuota(q)
+	}
+}
+
+// Quota returns the pool's tenant quota, nil when unmetered.
+func (p *Pool) Quota() *blockmgr.TenantQuota { return p.quota }
 
 // ConfigureContext applies the pool's heap-interleave settings to a task
 // context built over its tiers and hands it the memory system so cache
@@ -148,9 +164,11 @@ func (p *Pool) MarkDead(id int) {
 func (p *Pool) Replace(id int) *Executor {
 	old := p.Executors[id]
 	fresh := NewExecutor(id, old.Cores, p.binding, p.cacheCapacity)
-	// The fresh block manager inherits the crashed one's landing tier
-	// (the tiering engine re-attaches its observer separately).
+	// The fresh block manager inherits the crashed one's landing tier and
+	// tenant quota (the tiering engine re-attaches its observer
+	// separately).
 	fresh.Blocks.SetLandingTier(old.Blocks.LandingTier())
+	fresh.Blocks.SetQuota(p.quota)
 	p.Executors[id] = fresh
 	if p.dead[id] {
 		p.dead[id] = false

@@ -8,6 +8,7 @@ package hibench
 import (
 	"fmt"
 
+	"repro/internal/blockmgr"
 	"repro/internal/cluster"
 	"repro/internal/energy"
 	"repro/internal/executor"
@@ -53,6 +54,11 @@ type RunSpec struct {
 	// Tiering enables the dynamic block-migration engine for the run;
 	// nil disables it (see cluster.Conf.Tiering).
 	Tiering *tiering.Config
+	// Quota meters cached blocks against the owning tenant's shared
+	// two-tier budget (see cluster.Conf.Quota); nil disables metering.
+	// A run that exhausts both budgets returns the typed
+	// *blockmgr.QuotaExceededError instead of a full result.
+	Quota *blockmgr.TenantQuota
 	// Seed defaults to 1.
 	Seed int64
 }
@@ -139,22 +145,31 @@ func Run(spec RunSpec) (result RunResult, err error) {
 		Faults:             spec.Faults,
 		Seed:               spec.Seed,
 		Tiering:            spec.Tiering,
+		Quota:              spec.Quota,
 	}
 	if err := conf.Validate(); err != nil {
 		return RunResult{}, fmt.Errorf("hibench: %s: %w", spec, err)
 	}
 	app := cluster.New(conf)
 	// The scheduler signals an exhausted recovery budget by panicking
-	// with the typed abort; convert it into this function's error so the
-	// rdd.Driver interface stays panic-free for callers.
+	// with the typed abort, and the block manager signals an exhausted
+	// tenant quota the same way from the commit path; convert either into
+	// this function's error so the rdd.Driver interface stays panic-free
+	// for callers. The partial result keeps the virtual time the doomed
+	// job consumed, so admission engines can still account its occupancy
+	// window.
 	defer func() {
 		if r := recover(); r != nil {
-			aborted, ok := r.(*faults.JobAbortedError)
-			if !ok {
+			switch typed := r.(type) {
+			case *faults.JobAbortedError:
+				result = RunResult{Spec: spec, Duration: app.Elapsed()}
+				err = fmt.Errorf("hibench: %s: %w", spec, typed)
+			case *blockmgr.QuotaExceededError:
+				result = RunResult{Spec: spec, Duration: app.Elapsed()}
+				err = fmt.Errorf("hibench: %s: %w", spec, typed)
+			default:
 				panic(r)
 			}
-			result = RunResult{}
-			err = fmt.Errorf("hibench: %s: %w", spec, aborted)
 		}
 	}()
 	summary := w.Run(app, spec.Size)

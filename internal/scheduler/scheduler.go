@@ -550,6 +550,18 @@ func (s *Scheduler) accountStage(res executor.StageResult, tasks int) {
 	if res.MaxSharers > s.stats.MaxSharers {
 		s.stats.MaxSharers = res.MaxSharers
 	}
+	// Per-tenant quota gauges are re-sampled at every stage boundary —
+	// the only points quota usage can change — so the registry tracks the
+	// tenant's fast/slow occupancy and spill totals as the job runs.
+	if q := s.env.Pool().Quota(); q != nil {
+		u := q.Usage()
+		s.reg.Set("quota.fast_used_bytes", u.FastUsed)
+		s.reg.Set("quota.slow_used_bytes", u.SlowUsed)
+		s.reg.Set("quota.peak_fast_bytes", u.PeakFast)
+		s.reg.Set("quota.peak_slow_bytes", u.PeakSlow)
+		s.reg.Set("quota.spilled_blocks", u.SpilledBlocks)
+		s.reg.Set("quota.spilled_bytes", u.SpilledBytes)
+	}
 	// SimulateStage leaves the clock at the last task end; account the
 	// stage overhead by advancing the clock explicitly.
 	s.advance(sim.Duration(s.env.Cost().StageOverheadNS))

@@ -36,6 +36,7 @@ type Engine struct {
 
 	migratedBlocks int64
 	migratedBytes  int64
+	refusedMoves   int64
 	migStallNS     float64
 	migCounters    [memsim.NumTiers]memsim.Counters
 }
@@ -137,12 +138,18 @@ func (e *Engine) Tick() {
 	var tasks []executor.SimTask
 	var batches [][]Move // aligned with execIDs
 	var execIDs []int
+	// Quota admission deltas accumulated across the whole tick: every
+	// executor shares the tenant budget, and batches apply only after the
+	// migration stage is charged, so admission must account the headroom
+	// consumed by earlier batches in this tick.
+	var fastDelta, slowDelta int64
 	before := e.sys.Snapshot()
 	for id := 0; id < e.pool.Size(); id++ {
 		if !e.pool.Alive(id) {
 			continue
 		}
 		moves := e.policy.Plan(e.cfg, e.view(id, epochSeconds, specs))
+		moves = e.admitMoves(id, moves, &fastDelta, &slowDelta)
 		if len(moves) == 0 {
 			continue
 		}
@@ -190,6 +197,59 @@ func (e *Engine) Tick() {
 	}
 	e.publishGauges()
 }
+
+// admitMoves filters a planned batch through the block manager's quota
+// admission before anything is charged: under a tenant quota a promotion
+// into an exhausted fast budget (or a demotion into an exhausted slow
+// budget) is refused, so quota pressure shows up as refused migrations,
+// never as mid-migration failures. Unmetered managers admit everything.
+// Admitted moves are applied in plan order after the batch is charged;
+// fastDelta/slowDelta carry the headroom already consumed by earlier
+// moves of this tick (across executors, which share the tenant budget).
+func (e *Engine) admitMoves(id int, moves []Move, fastDelta, slowDelta *int64) []Move {
+	if len(moves) == 0 {
+		return moves
+	}
+	blocks := e.pool.Executors[id].Blocks
+	q := blocks.Quota()
+	if q == nil {
+		return moves
+	}
+	kept := moves[:0]
+	for _, m := range moves {
+		ok := blocks.CanMigrate(m.ID, m.To)
+		if ok {
+			switch m.To {
+			case q.Fast:
+				ok = q.FastUsed()+*fastDelta+m.Bytes <= q.FastBudgetBytes
+			case q.Slow:
+				ok = q.SlowBudgetBytes == 0 || q.SlowUsed()+*slowDelta+m.Bytes <= q.SlowBudgetBytes
+			}
+		}
+		if !ok {
+			e.refusedMoves++
+			continue
+		}
+		switch m.To {
+		case q.Fast:
+			*fastDelta += m.Bytes
+		case q.Slow:
+			*slowDelta += m.Bytes
+		}
+		switch m.From {
+		case q.Fast:
+			*fastDelta -= m.Bytes
+		case q.Slow:
+			*slowDelta -= m.Bytes
+		}
+		kept = append(kept, m)
+	}
+	return kept
+}
+
+// RefusedMoves returns how many planned migrations the tenant quota
+// refused (always zero without a quota).
+func (e *Engine) RefusedMoves() int64 { return e.refusedMoves }
 
 // view builds the frozen planning view for one executor.
 func (e *Engine) view(id int, epochSeconds float64, specs [memsim.NumTiers]memsim.TierSpec) View {
@@ -243,4 +303,5 @@ func (e *Engine) publishGauges() {
 	e.reg.Set("tiering.epochs", int64(e.epoch))
 	e.reg.Set("tiering.migrated_blocks", e.migratedBlocks)
 	e.reg.Set("tiering.migrated_bytes", e.migratedBytes)
+	e.reg.Set("tiering.refused_moves", e.refusedMoves)
 }
