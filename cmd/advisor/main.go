@@ -7,9 +7,14 @@
 // of the linear model against a k-NN regressor over the same features —
 // the "analytical models and/or ML techniques" the paper suggests.
 //
+// Training, evaluation and comparison all pull their cells through the
+// placement-advisor engine: the model families share observations, and a
+// re-run (or a run sharing the cache directory with cmd/advisord) costs
+// one cache read per distinct cell instead of a simulation.
+//
 // Usage:
 //
-//	advisor [-holdout pagerank] [-seed 1] [-compare]
+//	advisor [-holdout pagerank] [-seed 1] [-compare] [-cache .advisorcache]
 package main
 
 import (
@@ -17,15 +22,21 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/advisor"
 	"repro/internal/core"
 	"repro/internal/hibench"
 	"repro/internal/memsim"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
-// run executes one experiment cell, exiting with a diagnostic on error.
-func run(spec hibench.RunSpec) hibench.RunResult {
-	res, err := hibench.Run(spec)
+// eval evaluates one membind cell through the engine, exiting with a
+// diagnostic on error.
+func eval(eng *advisor.Engine, workload string, size workloads.Size, tier memsim.TierID, seed int64) hibench.RunResult {
+	res, err := eng.RunQuery(hibench.Query{
+		Workload: workload, Size: size.String(),
+		Placement: fmt.Sprintf("tier:%d", int(tier)), Seed: seed,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -37,6 +48,7 @@ func main() {
 	holdout := flag.String("holdout", "pagerank", "workload to hold out of training")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	compare := flag.Bool("compare", false, "also compare OLS vs k-NN with leave-one-out")
+	cacheDir := flag.String("cache", advisor.DefaultCacheDir, "advisor result-cache directory (empty disables)")
 	flag.Parse()
 
 	if _, err := workloads.ByName(*holdout); err != nil {
@@ -50,11 +62,14 @@ func main() {
 		}
 	}
 
-	var advisor core.TierAdvisor
-	advisor.Train(training, *seed)
-	fmt.Printf("trained on %v (R2 = %.3f)\n", training, advisor.R2())
+	reg := telemetry.NewRegistry()
+	eng := advisor.NewEngine(advisor.Options{CacheDir: *cacheDir, Registry: reg})
 
-	mape := advisor.Evaluate(*holdout, *seed)
+	tierAdvisor := core.TierAdvisor{Eval: eng.RunQuery}
+	tierAdvisor.Train(training, *seed)
+	fmt.Printf("trained on %v (R2 = %.3f)\n", training, tierAdvisor.R2())
+
+	mape := tierAdvisor.Evaluate(*holdout, *seed)
 	fmt.Printf("held-out %s: mean absolute prediction error %.1f%%\n\n", *holdout, mape*100)
 
 	t := core.Table{
@@ -62,14 +77,10 @@ func main() {
 		Headers: []string{"size", "tier", "predicted", "observed", "error %"},
 	}
 	for _, size := range workloads.AllSizes() {
-		profile := run(hibench.RunSpec{
-			Workload: *holdout, Size: size, Tier: memsim.Tier0, Seed: *seed,
-		})
+		profile := eval(eng, *holdout, size, memsim.Tier0, *seed)
 		for _, tier := range memsim.AllTiers() {
-			obs := run(hibench.RunSpec{
-				Workload: *holdout, Size: size, Tier: tier, Seed: *seed,
-			}).Duration.Seconds()
-			pred := advisor.Predict(profile, tier)
+			obs := eval(eng, *holdout, size, tier, *seed).Duration.Seconds()
+			pred := tierAdvisor.Predict(profile, tier)
 			t.AddRow(size.String(), tier.String(),
 				fmt.Sprintf("%.4f", pred), fmt.Sprintf("%.4f", obs),
 				fmt.Sprintf("%+.1f", (pred-obs)/obs*100))
@@ -77,15 +88,15 @@ func main() {
 	}
 	t.Render(os.Stdout)
 
-	profile := run(hibench.RunSpec{
-		Workload: *holdout, Size: workloads.Large, Tier: memsim.Tier0, Seed: *seed,
-	})
-	best, predicted := advisor.Recommend(profile, nil)
+	profile := eval(eng, *holdout, workloads.Large, memsim.Tier0, *seed)
+	best, predicted := tierAdvisor.Recommend(profile, nil)
 	fmt.Printf("\nrecommended tier for %s/large: %s (predicted %.4fs)\n", *holdout, best, predicted)
 
 	if *compare {
 		fmt.Println()
-		scores := core.ComparePredictors(nil, *seed)
+		scores := core.ComparePredictorsWith(eng.RunQuery, nil, *seed)
 		core.PredictorTable(scores, nil).Render(os.Stdout)
 	}
+	fmt.Fprintf(os.Stderr, "advisor cache: %d hits, %d misses (%d simulated)\n",
+		reg.Get(advisor.CounterCacheHit), reg.Get(advisor.CounterCacheMiss), reg.Get(advisor.CounterSimRuns))
 }

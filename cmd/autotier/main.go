@@ -61,7 +61,7 @@ func main() {
 		return
 	}
 
-	sz, err := parseSize(*size)
+	sz, err := workloads.ParseSize(*size)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "autotier:", err)
 		os.Exit(1)
@@ -88,16 +88,6 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "autotier: wrote %s\n", *out)
-}
-
-// parseSize maps the -size flag onto the dataset profiles.
-func parseSize(s string) (workloads.Size, error) {
-	for _, sz := range workloads.AllSizes() {
-		if sz.String() == s {
-			return sz, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown size %q (tiny|small|large)", s)
 }
 
 // dcpmCachePlacement is the DRAM-constrained placement: heap and shuffle

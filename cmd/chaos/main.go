@@ -99,7 +99,7 @@ func main() {
 		os.Exit(runMultiJob(*seed))
 	}
 
-	size, err := parseSize(*sizeFlag)
+	size, err := workloads.ParseSize(*sizeFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -253,18 +253,6 @@ func renderReport(cells []cell, tiers []memsim.TierID) string {
 		b.WriteString("\n")
 	}
 	return b.String()
-}
-
-func parseSize(s string) (workloads.Size, error) {
-	switch s {
-	case "tiny":
-		return workloads.Tiny, nil
-	case "small":
-		return workloads.Small, nil
-	case "large":
-		return workloads.Large, nil
-	}
-	return 0, fmt.Errorf("unknown size %q", s)
 }
 
 func parseTiers(s string) ([]memsim.TierID, error) {

@@ -49,16 +49,9 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	var size workloads.Size
-	switch *sizeFlag {
-	case "tiny":
-		size = workloads.Tiny
-	case "small":
-		size = workloads.Small
-	case "large":
-		size = workloads.Large
-	default:
-		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeFlag)
+	size, err := workloads.ParseSize(*sizeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 

@@ -74,7 +74,7 @@ func main() {
 	smoke := flag.Bool("smoke", false, "CI subset: 2 tenants, fifo x {static,watermark}")
 	flag.Parse()
 
-	size, err := parseSize(*sizeFlag)
+	size, err := workloads.ParseSize(*sizeFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -281,16 +281,4 @@ func renderReport(cells []cell, exhaustion string, seed int64, size workloads.Si
 	b.WriteString("The smoke mix's full report (trace, per-job table, per-tenant counters)\n")
 	b.WriteString("is byte-identical between 1 and 8 phase-1 workers.\n")
 	return b.String()
-}
-
-func parseSize(s string) (workloads.Size, error) {
-	switch s {
-	case "tiny":
-		return workloads.Tiny, nil
-	case "small":
-		return workloads.Small, nil
-	case "large":
-		return workloads.Large, nil
-	}
-	return 0, fmt.Errorf("unknown size %q", s)
 }

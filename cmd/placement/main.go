@@ -4,9 +4,13 @@
 // quantifying how much of the all-DRAM performance a mixed DRAM/NVM
 // placement can recover while moving most accesses onto cheap capacity.
 //
+// The study runs through the placement-advisor engine, so repeated runs
+// (and runs sharing the cache directory with cmd/whatif or cmd/advisord)
+// answer previously simulated cells from the persistent cache.
+//
 // Usage:
 //
-//	placement [-workloads pagerank,lda] [-size large] [-seed 1]
+//	placement [-workloads pagerank,lda] [-size large] [-seed 1] [-cache .advisorcache]
 package main
 
 import (
@@ -15,7 +19,9 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/advisor"
 	"repro/internal/core"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -24,18 +30,12 @@ func main() {
 	sizeFlag := flag.String("size", "large", "dataset size: tiny, small, large")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	interleave := flag.Bool("interleave", false, "also sweep the DRAM:NVM heap interleave ratio")
+	cacheDir := flag.String("cache", advisor.DefaultCacheDir, "advisor result-cache directory (empty disables)")
 	flag.Parse()
 
-	var size workloads.Size
-	switch *sizeFlag {
-	case "tiny":
-		size = workloads.Tiny
-	case "small":
-		size = workloads.Small
-	case "large":
-		size = workloads.Large
-	default:
-		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeFlag)
+	size, err := workloads.ParseSize(*sizeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -50,12 +50,22 @@ func main() {
 		}
 	}
 
+	reg := telemetry.NewRegistry()
+	eng := advisor.NewEngine(advisor.Options{CacheDir: *cacheDir, Registry: reg})
 	for _, w := range names {
-		study := core.RunPlacementStudy(w, size, *seed)
+		study, err := core.RunPlacementStudyWith(eng.RunQuery, w, size, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		study.Table().Render(os.Stdout)
 		fmt.Println()
 		if *interleave {
-			points := core.RunInterleaveSweep(w, size, nil, *seed)
+			points, err := core.RunInterleaveSweepWith(eng.RunQuery, w, size, nil, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 			core.InterleaveTable(w, size, points).Render(os.Stdout)
 			fmt.Println()
 		}
@@ -64,4 +74,6 @@ func main() {
 	fmt.Println("DRAM recover most of the all-DRAM performance while shifting the")
 	fmt.Println("bulk of accesses to DCPM capacity — the per-access-type tier choice")
 	fmt.Println("the paper's discussion (§IV-G) calls for.")
+	fmt.Fprintf(os.Stderr, "advisor cache: %d hits, %d misses (%d simulated)\n",
+		reg.Get(advisor.CounterCacheHit), reg.Get(advisor.CounterCacheMiss), reg.Get(advisor.CounterSimRuns))
 }

@@ -29,7 +29,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "invalid tier %d\n", *tier)
 		os.Exit(2)
 	}
-	sizes, err := parseSizes(*sizesFlag)
+	sizes, err := workloads.ParseSizes(*sizesFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -46,21 +46,4 @@ func main() {
 				grid.WorstSlowdown(), grid.BestSpeedup())
 		}
 	}
-}
-
-func parseSizes(s string) ([]workloads.Size, error) {
-	var out []workloads.Size
-	for _, part := range strings.Split(s, ",") {
-		switch part {
-		case "tiny":
-			out = append(out, workloads.Tiny)
-		case "small":
-			out = append(out, workloads.Small)
-		case "large":
-			out = append(out, workloads.Large)
-		default:
-			return nil, fmt.Errorf("unknown size %q", part)
-		}
-	}
-	return out, nil
 }

@@ -25,16 +25,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	flag.Parse()
 
-	var size workloads.Size
-	switch *sizeFlag {
-	case "tiny":
-		size = workloads.Tiny
-	case "small":
-		size = workloads.Small
-	case "large":
-		size = workloads.Large
-	default:
-		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeFlag)
+	size, err := workloads.ParseSize(*sizeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	var names []string

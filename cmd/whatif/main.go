@@ -3,9 +3,14 @@
 // quantifying how much of the paper's DRAM/DCPM gap future technologies
 // would close (the direction its introduction and §IV-G sketch).
 //
+// The sweep runs through the placement-advisor engine, so cells already
+// evaluated — by a previous whatif run, by cmd/placement, or by a
+// cmd/advisord server sharing the cache directory — are answered from
+// the persistent cache instead of re-simulated.
+//
 // Usage:
 //
-//	whatif [-size large] [-workloads sort,lda] [-seed 1]
+//	whatif [-size large] [-workloads sort,lda] [-seed 1] [-cache .advisorcache]
 package main
 
 import (
@@ -14,7 +19,9 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/advisor"
 	"repro/internal/core"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -22,18 +29,12 @@ func main() {
 	sizeFlag := flag.String("size", "large", "dataset size: tiny, small, large")
 	workloadsFlag := flag.String("workloads", "", "comma-separated workload names (default: all)")
 	seed := flag.Int64("seed", 1, "experiment seed")
+	cacheDir := flag.String("cache", advisor.DefaultCacheDir, "advisor result-cache directory (empty disables)")
 	flag.Parse()
 
-	var size workloads.Size
-	switch *sizeFlag {
-	case "tiny":
-		size = workloads.Tiny
-	case "small":
-		size = workloads.Small
-	case "large":
-		size = workloads.Large
-	default:
-		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeFlag)
+	size, err := workloads.ParseSize(*sizeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	var names []string
@@ -54,6 +55,14 @@ func main() {
 	}
 	fmt.Println()
 
-	results := core.RunWhatIf(names, size, *seed)
+	reg := telemetry.NewRegistry()
+	eng := advisor.NewEngine(advisor.Options{CacheDir: *cacheDir, Registry: reg})
+	results, err := core.RunWhatIfWith(eng.RunQuery, names, size, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	core.WhatIfTable(results).Render(os.Stdout)
+	fmt.Fprintf(os.Stderr, "advisor cache: %d hits, %d misses (%d simulated)\n",
+		reg.Get(advisor.CounterCacheHit), reg.Get(advisor.CounterCacheMiss), reg.Get(advisor.CounterSimRuns))
 }

@@ -1,0 +1,44 @@
+package advisor
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Counter names the engine publishes through internal/telemetry. The
+// cache/dedup/sim triple is the service's efficiency story: hits and
+// shares are queries answered without paying for a simulation.
+const (
+	CounterCacheHit   = "advisor.cache.hit"
+	CounterCacheMiss  = "advisor.cache.miss"
+	CounterStoreError = "advisor.cache.store_error"
+	CounterDedupShare = "advisor.dedup.shared"
+	CounterSimRuns    = "advisor.sim.runs"
+	CounterRequests   = "advisor.http.requests"
+	CounterErrors     = "advisor.http.errors"
+)
+
+// metrics bundles the engine's counters and its request-latency
+// distribution. Both sinks are nil-safe, so an engine built without a
+// registry simply runs unobserved.
+type metrics struct {
+	reg     *telemetry.Registry
+	latency *telemetry.Distribution
+}
+
+func (m metrics) count(name string) { m.reg.Add(name, 1) }
+
+// timeRequest starts timing one HTTP request and returns the stop
+// function that records the observed latency. This is the advisor's only
+// wall-clock path: latencies feed the stats endpoint and the CI
+// artifact, never a simulation result or a response body that tests
+// compare byte-for-byte.
+//
+//simlint:allow nodeterminism request-latency observability only; wall-clock never feeds simulation results or deterministic response bytes
+func (m metrics) timeRequest() func() {
+	start := time.Now()
+	return func() {
+		m.latency.Observe(time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,241 @@
+package advisor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/hibench"
+	"repro/internal/telemetry"
+	"repro/internal/workloads"
+)
+
+func testServer(t *testing.T) (*Engine, *httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	e := stubEngine(t, t.TempDir(), &calls, nil)
+	srv := httptest.NewServer(NewServer(e))
+	t.Cleanup(srv.Close)
+	return e, srv, &calls
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestServerEval(t *testing.T) {
+	_, srv, calls := testServer(t)
+	resp, body := postJSON(t, srv.URL+"/v1/eval", `{"workload":"pagerank","size":"tiny","placement":"tier:2"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	var res Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	want := hibench.Query{Workload: "pagerank", Size: "tiny", Placement: "tier:2", Seed: 1}
+	if res.Query != want {
+		t.Fatalf("response answers %+v; want normalized %+v", res.Query, want)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("eval simulated %d times; want 1", calls.Load())
+	}
+}
+
+func TestServerEvalRejectsBadRequests(t *testing.T) {
+	e, srv, calls := testServer(t)
+	for name, body := range map[string]string{
+		"unknown-workload": `{"workload":"bogus","size":"tiny"}`,
+		"unknown-field":    `{"workload":"pagerank","size":"tiny","frobnicate":1}`,
+		"not-json":         `pagerank tiny please`,
+	} {
+		resp, respBody := postJSON(t, srv.URL+"/v1/eval", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d (%s); want 400", name, resp.StatusCode, respBody)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(respBody, &eb); err != nil || eb.Error == "" {
+			t.Errorf("%s: error response %s is not an error body", name, respBody)
+		}
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("bad requests reached the runner %d times", calls.Load())
+	}
+	if errs := e.Registry().Get(CounterErrors); errs != 3 {
+		t.Fatalf("error counter = %d; want 3", errs)
+	}
+}
+
+func TestServerMethodDiscipline(t *testing.T) {
+	_, srv, _ := testServer(t)
+	if resp, err := http.Get(srv.URL + "/v1/eval"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/eval: HTTP %d; want 405", resp.StatusCode)
+	}
+	if resp, body := postJSON(t, srv.URL+"/v1/stats", `{}`); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/stats: HTTP %d (%s); want 405", resp.StatusCode, body)
+	}
+}
+
+func TestServerSweepByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	_, srv, calls := testServer(t)
+	sweep := `{"workloads":["pagerank","lda"],"sizes":["tiny"],"placements":["tier:0","tier:2"],"workers":%d}`
+
+	resp, cold := postJSON(t, srv.URL+"/v1/sweep", fmt.Sprintf(sweep, 1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold sweep: HTTP %d: %s", resp.StatusCode, cold)
+	}
+	coldSims := calls.Load()
+	if coldSims != 4 {
+		t.Fatalf("cold sweep simulated %d cells; want 4", coldSims)
+	}
+	for _, workers := range []int{2, 7} {
+		resp, warm := postJSON(t, srv.URL+"/v1/sweep", fmt.Sprintf(sweep, workers))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm sweep (workers=%d): HTTP %d", workers, resp.StatusCode)
+		}
+		if string(warm) != string(cold) {
+			t.Fatalf("sweep response at workers=%d differs from workers=1", workers)
+		}
+	}
+	if calls.Load() != coldSims {
+		t.Fatalf("warm sweeps re-simulated (%d total calls)", calls.Load())
+	}
+}
+
+func TestServerBatchMatchesEngine(t *testing.T) {
+	e, srv, _ := testServer(t)
+	resp, body := postJSON(t, srv.URL+"/v1/batch",
+		`{"queries":[{"workload":"sort","size":"tiny"},{"workload":"lda","size":"tiny","placement":"all-NVM"}],"workers":2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	var got BatchResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.EvalBatch([]hibench.Query{
+		{Workload: "sort", Size: "tiny"},
+		{Workload: "lda", Size: "tiny", Placement: "all-NVM"},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(want) {
+		t.Fatalf("%d results; want %d", len(got.Results), len(want))
+	}
+	for i := range want {
+		if got.Results[i] != want[i] {
+			t.Fatalf("result %d differs over HTTP", i)
+		}
+	}
+}
+
+func TestServerRecommend(t *testing.T) {
+	_, srv, _ := testServer(t)
+	resp, body := postJSON(t, srv.URL+"/v1/recommend", `{"workload":"pagerank","size":"tiny"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	var rec Recommendation
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Best < 0 || rec.Best >= len(rec.Candidates) {
+		t.Fatalf("best index %d out of range of %d candidates", rec.Best, len(rec.Candidates))
+	}
+}
+
+func TestServerStatsAndHealth(t *testing.T) {
+	e, srv, _ := testServer(t)
+	if _, err := e.Eval(hibench.Query{Workload: "pagerank", Size: "tiny"}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.EngineHash != e.EngineHash() {
+		t.Fatalf("stats engine hash %q != engine %q", stats.EngineHash, e.EngineHash())
+	}
+	if stats.Counters[CounterSimRuns] != 1 {
+		t.Fatalf("stats counters %v missing the simulation", stats.Counters)
+	}
+	if stats.LatencySeconds.Count == 0 {
+		t.Fatal("stats reports no observed request latencies")
+	}
+}
+
+func TestSweepGridDefaultsAndOrder(t *testing.T) {
+	grid := SweepRequest{}.Grid()
+	names := workloads.Names()
+	if len(grid) != len(names) {
+		t.Fatalf("default grid has %d cells; want one per workload (%d)", len(grid), len(names))
+	}
+	for i, q := range grid {
+		want := hibench.Query{Workload: names[i], Size: "tiny", Placement: "tier:0", Seed: 1}
+		if q != want {
+			t.Fatalf("grid[%d] = %+v; want %+v", i, q, want)
+		}
+	}
+
+	full := SweepRequest{
+		Workloads:  []string{"sort"},
+		Sizes:      []string{"tiny", "small"},
+		Placements: []string{"tier:0", "tier:2"},
+		Policies:   []string{"", "cxl-dram"},
+		Seeds:      []int64{1, 2},
+	}.Grid()
+	if len(full) != 1*2*2*2*2 {
+		t.Fatalf("full grid has %d cells; want 16", len(full))
+	}
+	// Grid order is workload-major, seed-minor: the first two cells vary
+	// only the seed.
+	if full[0].Seed != 1 || full[1].Seed != 2 || full[0].Policy != full[1].Policy {
+		t.Fatalf("grid order wrong: %+v then %+v", full[0], full[1])
+	}
+}
+
+func TestStatsCountersAreRegistryBacked(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := NewEngine(Options{Registry: reg, Runner: func(q hibench.Query) (hibench.RunResult, error) {
+		return fabricate(q), nil
+	}})
+	if _, err := e.Eval(hibench.Query{Workload: "pagerank", Size: "tiny"}); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Get(CounterCacheMiss) != 1 || reg.Get(CounterSimRuns) != 1 {
+		t.Fatalf("registry not updated: %v", reg.Snapshot())
+	}
+}

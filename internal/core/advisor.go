@@ -17,8 +17,20 @@ import (
 // specs and system events correlate strongly with runtime — is what makes
 // this model work.
 type TierAdvisor struct {
+	// Eval evaluates one experiment cell; nil selects hibench.RunQuery,
+	// a fresh simulation per cell. cmd/advisor injects the advisor
+	// engine's cached runner so repeated training sweeps cost one
+	// simulation per distinct cell.
+	Eval hibench.QueryRunner
+
 	fit     stats.LinearFit
 	trained bool
+}
+
+// cell evaluates one membind experiment cell through the advisor's
+// runner.
+func (a *TierAdvisor) cell(workload string, size workloads.Size, tier memsim.TierID, seed int64) hibench.RunResult {
+	return mustEval(a.Eval, membindCell(workload, size, tier, seed))
 }
 
 // advisorFeatures builds the model's feature vector: the Tier 0 run's
@@ -46,13 +58,9 @@ func (a *TierAdvisor) Train(names []string, seed int64) {
 	specs := memsim.DefaultSpecs()
 	for _, w := range names {
 		for _, size := range workloads.AllSizes() {
-			profile := mustRun(hibench.RunSpec{
-				Workload: w, Size: size, Tier: memsim.Tier0, Seed: seed,
-			})
+			profile := a.cell(w, size, memsim.Tier0, seed)
 			for _, tier := range memsim.AllTiers() {
-				obs := mustRun(hibench.RunSpec{
-					Workload: w, Size: size, Tier: tier, Seed: seed,
-				})
+				obs := a.cell(w, size, tier, seed)
 				xs = append(xs, advisorFeatures(profile, specs[tier]))
 				ys = append(ys, obs.Duration.Seconds())
 			}
@@ -108,13 +116,9 @@ func (a *TierAdvisor) Evaluate(workload string, seed int64) float64 {
 	a.mustBeTrained()
 	var ape []float64
 	for _, size := range workloads.AllSizes() {
-		profile := mustRun(hibench.RunSpec{
-			Workload: workload, Size: size, Tier: memsim.Tier0, Seed: seed,
-		})
+		profile := a.cell(workload, size, memsim.Tier0, seed)
 		for _, tier := range memsim.AllTiers() {
-			obs := mustRun(hibench.RunSpec{
-				Workload: workload, Size: size, Tier: tier, Seed: seed,
-			}).Duration.Seconds()
+			obs := a.cell(workload, size, tier, seed).Duration.Seconds()
 			pred := a.Predict(profile, tier)
 			ape = append(ape, math.Abs(pred-obs)/obs)
 		}

@@ -3,7 +3,13 @@
 // placement studies and the wear model.
 package core
 
-import "repro/internal/hibench"
+import (
+	"fmt"
+
+	"repro/internal/hibench"
+	"repro/internal/memsim"
+	"repro/internal/workloads"
+)
 
 // mustRun executes one experiment cell, panicking on a spec error.
 // Experiment harnesses construct their RunSpecs from validated tables and
@@ -16,4 +22,28 @@ func mustRun(spec hibench.RunSpec) hibench.RunResult {
 		panic(err)
 	}
 	return res
+}
+
+// mustEval evaluates one query cell through an injectable runner (nil
+// selects hibench.RunQuery), panicking on error — the query-plane
+// counterpart of mustRun, for harnesses whose cells come from validated
+// enumerations.
+func mustEval(eval hibench.QueryRunner, q hibench.Query) hibench.RunResult {
+	if eval == nil {
+		eval = hibench.RunQuery
+	}
+	res, err := eval(q)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// membindCell names the plain membind experiment cell (workload, size,
+// tier, seed) in query vocabulary.
+func membindCell(workload string, size workloads.Size, tier memsim.TierID, seed int64) hibench.Query {
+	return hibench.Query{
+		Workload: workload, Size: size.String(),
+		Placement: fmt.Sprintf("tier:%d", int(tier)), Seed: seed,
+	}
 }

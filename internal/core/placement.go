@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/executor"
 	"repro/internal/hibench"
-	"repro/internal/memsim"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -32,47 +31,43 @@ type PlacementStudy struct {
 	Points   []PlacementPoint
 }
 
-// StandardPlacements returns the deployments compared by the study.
-func StandardPlacements() []struct {
-	Name string
-	P    executor.Placement
-} {
-	t0, t2 := memsim.Tier0, memsim.Tier2
-	return []struct {
-		Name string
-		P    executor.Placement
-	}{
-		{"all-DRAM", executor.UniformPlacement(t0)},
-		{"all-NVM", executor.UniformPlacement(t2)},
-		{"heap-DRAM/shuffle-NVM", executor.Placement{Heap: t0, Shuffle: t2, Cache: t2}},
-		{"heap-NVM/shuffle-DRAM", executor.Placement{Heap: t2, Shuffle: t0, Cache: t0}},
-		{"cache-NVM", executor.Placement{Heap: t0, Shuffle: t0, Cache: t2}},
+// StandardPlacements returns the deployments compared by the study; the
+// table itself lives in executor, next to the Placement type, so the
+// advisor service resolves the same names.
+func StandardPlacements() []executor.NamedPlacement { return executor.StandardPlacements() }
+
+// RunPlacementStudy measures every standard placement for one workload,
+// simulating every cell afresh.
+func RunPlacementStudy(workload string, size workloads.Size, seed int64) *PlacementStudy {
+	study, err := RunPlacementStudyWith(hibench.RunQuery, workload, size, seed)
+	if err != nil {
+		panic(err)
 	}
+	return study
 }
 
-// RunPlacementStudy measures every standard placement for one workload.
-func RunPlacementStudy(workload string, size workloads.Size, seed int64) *PlacementStudy {
+// RunPlacementStudyWith is the placement study over an injectable cell
+// evaluator (see RunWhatIfWith).
+func RunPlacementStudyWith(eval hibench.QueryRunner, workload string, size workloads.Size, seed int64) (*PlacementStudy, error) {
+	if eval == nil {
+		eval = hibench.RunQuery
+	}
 	study := &PlacementStudy{Workload: workload, Size: size}
 	for _, sp := range StandardPlacements() {
-		p := sp.P
-		res := mustRun(hibench.RunSpec{
-			Workload: workload, Size: size, Tier: p.Heap,
-			Placement: &p, Seed: seed,
+		res, err := eval(hibench.Query{
+			Workload: workload, Size: size.String(), Placement: sp.Name, Seed: seed,
 		})
-		m := res.Metrics
-		total := float64(m.MediaReads + m.MediaWrites)
-		nvm := 0.0
-		if total > 0 {
-			nvm = float64(res.NVMCounters.MediaReads+res.NVMCounters.MediaWrites) / total
+		if err != nil {
+			return nil, err
 		}
 		study.Points = append(study.Points, PlacementPoint{
 			Name:      sp.Name,
-			Placement: p,
+			Placement: sp.P,
 			Duration:  res.Duration,
-			NVMShare:  nvm,
+			NVMShare:  hibench.NVMShare(res),
 		})
 	}
-	return study
+	return study, nil
 }
 
 // Point returns a named deployment's measurement.
@@ -120,20 +115,32 @@ type InterleavePoint struct {
 // fractions (numactl --interleave / Memory-Mode-style weighted placement),
 // from the all-DRAM to the all-NVM endpoint.
 func RunInterleaveSweep(workload string, size workloads.Size, fractions []float64, seed int64) []InterleavePoint {
+	out, err := RunInterleaveSweepWith(hibench.RunQuery, workload, size, fractions, seed)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// RunInterleaveSweepWith is the interleave sweep over an injectable cell
+// evaluator (see RunWhatIfWith).
+func RunInterleaveSweepWith(eval hibench.QueryRunner, workload string, size workloads.Size, fractions []float64, seed int64) ([]InterleavePoint, error) {
+	if eval == nil {
+		eval = hibench.RunQuery
+	}
 	if fractions == nil {
 		fractions = []float64{0, 0.25, 0.5, 0.75, 1.0}
 	}
 	var out []InterleavePoint
 	var base sim.Time
 	for _, f := range fractions {
-		p := executor.Placement{
-			Heap: memsim.Tier0, Shuffle: memsim.Tier0, Cache: memsim.Tier0,
-			HeapSpill: memsim.Tier2, HeapSpillFrac: f,
-		}
-		res := mustRun(hibench.RunSpec{
-			Workload: workload, Size: size, Tier: memsim.Tier0,
-			Placement: &p, Seed: seed,
+		res, err := eval(hibench.Query{
+			Workload: workload, Size: size.String(),
+			Placement: fmt.Sprintf("interleave:%g", f), Seed: seed,
 		})
+		if err != nil {
+			return nil, err
+		}
 		if len(out) == 0 {
 			base = res.Duration
 		}
@@ -143,7 +150,7 @@ func RunInterleaveSweep(workload string, size workloads.Size, fractions []float6
 			Slowdown:    float64(res.Duration) / float64(base),
 		})
 	}
-	return out
+	return out, nil
 }
 
 // InterleaveTable renders the ratio sweep.

@@ -34,8 +34,17 @@ type PredictorScore struct {
 
 // ComparePredictors runs leave-one-workload-out evaluation of the linear
 // (OLS) advisor and a k-NN regressor over the same feature space and
-// observations. Workloads defaults to the paper's seven.
+// observations, simulating every cell afresh. Workloads defaults to the
+// paper's seven.
 func ComparePredictors(names []string, seed int64) []PredictorScore {
+	return ComparePredictorsWith(hibench.RunQuery, names, seed)
+}
+
+// ComparePredictorsWith is the predictor comparison over an injectable
+// cell evaluator (see RunWhatIfWith) — both model families train on the
+// same observations, so through a caching runner the whole comparison
+// costs one simulation per distinct (workload, size, tier) cell.
+func ComparePredictorsWith(eval hibench.QueryRunner, names []string, seed int64) []PredictorScore {
 	if names == nil {
 		names = workloads.Names()
 	}
@@ -48,13 +57,9 @@ func ComparePredictors(names []string, seed int64) []PredictorScore {
 	specs := memsim.DefaultSpecs()
 	for _, w := range names {
 		for _, size := range workloads.AllSizes() {
-			profile := mustRun(hibench.RunSpec{
-				Workload: w, Size: size, Tier: memsim.Tier0, Seed: seed,
-			})
+			profile := mustEval(eval, membindCell(w, size, memsim.Tier0, seed))
 			for _, tier := range memsim.AllTiers() {
-				y := mustRun(hibench.RunSpec{
-					Workload: w, Size: size, Tier: tier, Seed: seed,
-				}).Duration.Seconds()
+				y := mustEval(eval, membindCell(w, size, tier, seed)).Duration.Seconds()
 				all = append(all, obs{
 					workload: w,
 					x:        advisorFeatures(profile, specs[tier]),

@@ -3,53 +3,23 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/cluster"
+	"repro/internal/hibench"
 	"repro/internal/memsim"
-	"repro/internal/numa"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
 
 // WhatIfScenario swaps a hypothetical memory technology into the Tier 2
-// slot (the "capacity tier") and re-runs the characterization — the
-// paper's introduction motivates exactly this question for upcoming CXL
-// memory expanders and next-generation NVM.
-type WhatIfScenario struct {
-	Name string
-	// Description explains the modeled device.
-	Description string
-	// Spec replaces Tier 2 of the testbed.
-	Spec memsim.TierSpec
-}
+// slot and re-runs the characterization — the paper's introduction
+// motivates exactly this question for upcoming CXL memory expanders and
+// next-generation NVM. The scenario table itself lives in memsim, next to
+// the tier specifications it perturbs, so the advisor service resolves
+// the same names.
+type WhatIfScenario = memsim.CapacityScenario
 
 // WhatIfScenarios returns the modeled future capacity tiers, ordered from
 // the paper's baseline to the most aggressive.
-func WhatIfScenarios() []WhatIfScenario {
-	base := memsim.DefaultSpecs()[memsim.Tier2]
-
-	cxl := base
-	cxl.Name = "CXL DRAM expander"
-	cxl.Kind = memsim.DRAM
-	cxl.IdleLatencyNS = 180 // ~NUMA-hop-plus latency over CXL 2.0
-	cxl.BandwidthBytes = 28e9
-	cxl.WriteLatencyFactor = 1.05
-	cxl.WriteBandwidthFactor = 0.9
-	cxl.SeqWriteBandwidthFactor = 0.95
-	cxl.ContentionFactor = 0.08
-
-	gen2 := base
-	gen2.Name = "next-gen NVM"
-	gen2.IdleLatencyNS = base.IdleLatencyNS * 0.6
-	gen2.BandwidthBytes = base.BandwidthBytes * 2
-	gen2.WriteLatencyFactor = 1.6 // asymmetry halved
-	gen2.ContentionFactor = base.ContentionFactor * 0.6
-
-	return []WhatIfScenario{
-		{Name: "optane", Description: "the paper's Optane DCPM testbed (baseline)", Spec: base},
-		{Name: "cxl-dram", Description: "DRAM behind a CXL 2.0 expander (latency up, tech symmetric)", Spec: cxl},
-		{Name: "nvm-gen2", Description: "hypothetical next-gen NVM: 0.6x latency, 2x bandwidth, milder write asymmetry", Spec: gen2},
-	}
-}
+func WhatIfScenarios() []WhatIfScenario { return memsim.CapacityScenarios() }
 
 // WhatIfResult is one workload's capacity-tier slowdown under a scenario.
 type WhatIfResult struct {
@@ -63,45 +33,56 @@ type WhatIfResult struct {
 	Slowdown float64
 }
 
-// RunWhatIf measures every scenario x workload at the given size.
+// RunWhatIf measures every scenario x workload at the given size,
+// simulating every cell afresh.
 func RunWhatIf(names []string, size workloads.Size, seed int64) []WhatIfResult {
-	if names == nil {
-		names = workloads.Names()
-	}
-	var out []WhatIfResult
-	for _, sc := range WhatIfScenarios() {
-		specs := memsim.DefaultSpecs()
-		sc.Spec.ID = memsim.Tier2
-		specs[memsim.Tier2] = sc.Spec
-		for _, w := range names {
-			local := runOnSpecs(w, size, memsim.Tier0, &specs, seed)
-			capacity := runOnSpecs(w, size, memsim.Tier2, &specs, seed)
-			out = append(out, WhatIfResult{
-				Scenario: sc.Name,
-				Workload: w,
-				Local:    local,
-				Capacity: capacity,
-				Slowdown: float64(capacity) / float64(local),
-			})
-		}
+	out, err := RunWhatIfWith(hibench.RunQuery, names, size, seed)
+	if err != nil {
+		panic(err)
 	}
 	return out
 }
 
-func runOnSpecs(workload string, size workloads.Size, tier memsim.TierID,
-	specs *[memsim.NumTiers]memsim.TierSpec, seed int64) sim.Time {
-	w, err := workloads.ByName(workload)
-	if err != nil {
-		panic(err)
+// RunWhatIfWith is the what-if sweep over an injectable cell evaluator —
+// the advisor engine passes its cached, deduplicated runner here, which
+// is what turns the repeated sweep into cache lookups. The Tier 0 anchor
+// is scenario-independent (a Tier 0 run never touches the capacity
+// device), so it is evaluated once per workload rather than once per
+// scenario x workload.
+func RunWhatIfWith(eval hibench.QueryRunner, names []string, size workloads.Size, seed int64) ([]WhatIfResult, error) {
+	if eval == nil {
+		eval = hibench.RunQuery
 	}
-	conf := cluster.DefaultConf()
-	conf.Binding = numa.BindingForTier(tier)
-	conf.TierSpecs = specs
-	conf.DefaultParallelism = 80
-	conf.Seed = seed
-	app := cluster.New(conf)
-	w.Run(app, size)
-	return app.Elapsed()
+	if names == nil {
+		names = workloads.Names()
+	}
+	locals := make(map[string]sim.Time, len(names))
+	for _, w := range names {
+		res, err := eval(hibench.Query{Workload: w, Size: size.String(), Placement: "tier:0", Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		locals[w] = res.Duration
+	}
+	var out []WhatIfResult
+	for _, sc := range WhatIfScenarios() {
+		for _, w := range names {
+			res, err := eval(hibench.Query{
+				Workload: w, Size: size.String(), Placement: "tier:2", Policy: sc.Name, Seed: seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, WhatIfResult{
+				Scenario: sc.Name,
+				Workload: w,
+				Local:    locals[w],
+				Capacity: res.Duration,
+				Slowdown: float64(res.Duration) / float64(locals[w]),
+			})
+		}
+	}
+	return out, nil
 }
 
 // WhatIfTable renders the scenario comparison.

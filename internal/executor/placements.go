@@ -1,0 +1,36 @@
+package executor
+
+import "repro/internal/memsim"
+
+// NamedPlacement pairs a deployment name with its per-category tier map —
+// the vocabulary the placement study, the advisor service and the
+// command-line drivers share.
+type NamedPlacement struct {
+	Name string
+	P    Placement
+}
+
+// StandardPlacements returns the deployments the §IV-G placement study
+// compares: the two uniform membind baselines plus the mixed placements
+// that split heap, shuffle and cache traffic between Tier 0 (scarce, fast
+// DRAM) and Tier 2 (abundant, slow DCPM).
+func StandardPlacements() []NamedPlacement {
+	t0, t2 := memsim.Tier0, memsim.Tier2
+	return []NamedPlacement{
+		{"all-DRAM", UniformPlacement(t0)},
+		{"all-NVM", UniformPlacement(t2)},
+		{"heap-DRAM/shuffle-NVM", Placement{Heap: t0, Shuffle: t2, Cache: t2}},
+		{"heap-NVM/shuffle-DRAM", Placement{Heap: t2, Shuffle: t0, Cache: t0}},
+		{"cache-NVM", Placement{Heap: t0, Shuffle: t0, Cache: t2}},
+	}
+}
+
+// PlacementByName resolves a standard placement name.
+func PlacementByName(name string) (Placement, bool) {
+	for _, np := range StandardPlacements() {
+		if np.Name == name {
+			return np.P, true
+		}
+	}
+	return Placement{}, false
+}

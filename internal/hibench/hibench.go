@@ -42,6 +42,10 @@ type RunSpec struct {
 	// Placement optionally routes heap/shuffle/cache traffic to distinct
 	// tiers; nil binds everything to Tier (the paper's membind).
 	Placement *executor.Placement
+	// TierSpecs overrides the machine's tier specifications (what-if
+	// studies on hypothetical memory technologies); nil uses the paper's
+	// Table I testbed.
+	TierSpecs *[memsim.NumTiers]memsim.TierSpec
 	// TaskParallelism bounds the phase-1 compute workers; zero selects
 	// runtime.GOMAXPROCS(0), 1 forces sequential computation. Virtual-time
 	// results are identical either way.
@@ -141,6 +145,7 @@ func Run(spec RunSpec) (result RunResult, err error) {
 		DefaultParallelism: spec.Parallelism,
 		BandwidthCap:       spec.BandwidthCap,
 		Placement:          spec.Placement,
+		TierSpecs:          spec.TierSpecs,
 		TaskParallelism:    spec.TaskParallelism,
 		Faults:             spec.Faults,
 		Seed:               spec.Seed,

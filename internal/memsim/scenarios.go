@@ -1,0 +1,72 @@
+package memsim
+
+import "fmt"
+
+// CapacityScenario swaps a hypothetical memory technology into the Tier 2
+// slot (the "capacity tier") — the paper's introduction motivates exactly
+// this question for upcoming CXL memory expanders and next-generation NVM.
+// The table lives here, next to the tier specifications it perturbs, so
+// both the what-if study and the advisor service resolve scenario names
+// against one authoritative definition.
+type CapacityScenario struct {
+	Name string
+	// Description explains the modeled device.
+	Description string
+	// Spec replaces Tier 2 of the testbed.
+	Spec TierSpec
+}
+
+// CapacityScenarios returns the modeled future capacity tiers, ordered
+// from the paper's baseline to the most aggressive.
+func CapacityScenarios() []CapacityScenario {
+	base := DefaultSpecs()[Tier2]
+
+	cxl := base
+	cxl.Name = "CXL DRAM expander"
+	cxl.Kind = DRAM
+	cxl.IdleLatencyNS = 180 // ~NUMA-hop-plus latency over CXL 2.0
+	cxl.BandwidthBytes = 28e9
+	cxl.WriteLatencyFactor = 1.05
+	cxl.WriteBandwidthFactor = 0.9
+	cxl.SeqWriteBandwidthFactor = 0.95
+	cxl.ContentionFactor = 0.08
+
+	gen2 := base
+	gen2.Name = "next-gen NVM"
+	gen2.IdleLatencyNS = base.IdleLatencyNS * 0.6
+	gen2.BandwidthBytes = base.BandwidthBytes * 2
+	gen2.WriteLatencyFactor = 1.6 // asymmetry halved
+	gen2.ContentionFactor = base.ContentionFactor * 0.6
+
+	return []CapacityScenario{
+		{Name: "optane", Description: "the paper's Optane DCPM testbed (baseline)", Spec: base},
+		{Name: "cxl-dram", Description: "DRAM behind a CXL 2.0 expander (latency up, tech symmetric)", Spec: cxl},
+		{Name: "nvm-gen2", Description: "hypothetical next-gen NVM: 0.6x latency, 2x bandwidth, milder write asymmetry", Spec: gen2},
+	}
+}
+
+// CapacityScenarioByName resolves a scenario name, or errors listing the
+// valid names.
+func CapacityScenarioByName(name string) (CapacityScenario, error) {
+	var names []string
+	for _, sc := range CapacityScenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+		names = append(names, sc.Name)
+	}
+	return CapacityScenario{}, fmt.Errorf("memsim: unknown capacity scenario %q (valid: %v)", name, names)
+}
+
+// ScenarioSpecs returns the full tier-specification table with the named
+// scenario's device in the Tier 2 slot.
+func ScenarioSpecs(name string) ([NumTiers]TierSpec, error) {
+	sc, err := CapacityScenarioByName(name)
+	if err != nil {
+		return [NumTiers]TierSpec{}, err
+	}
+	specs := DefaultSpecs()
+	sc.Spec.ID = Tier2
+	specs[Tier2] = sc.Spec
+	return specs, nil
+}

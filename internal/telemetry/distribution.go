@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// Distribution is a mutex-protected reservoir of observed values with
+// quantile summaries — the latency-tracking counterpart of Registry.
+// Like Registry, a nil distribution ignores all calls. The values it
+// holds are host-side observations (wall-clock latencies, queue depths);
+// nothing here may ever feed virtual-time results.
+type Distribution struct {
+	mu     sync.Mutex
+	values []float64
+}
+
+// Observe records one value; no-op on a nil distribution.
+func (d *Distribution) Observe(v float64) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.values = append(d.values, v)
+	d.mu.Unlock()
+}
+
+// DistSummary is a point-in-time quantile summary of a distribution.
+type DistSummary struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Snapshot summarizes the values observed so far; zero summary on a nil
+// or empty distribution.
+func (d *Distribution) Snapshot() DistSummary {
+	if d == nil {
+		return DistSummary{}
+	}
+	d.mu.Lock()
+	vals := make([]float64, len(d.values))
+	copy(vals, d.values)
+	d.mu.Unlock()
+	if len(vals) == 0 {
+		return DistSummary{}
+	}
+	sort.Float64s(vals)
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return DistSummary{
+		Count: len(vals),
+		Mean:  sum / float64(len(vals)),
+		P50:   quantile(vals, 0.50),
+		P90:   quantile(vals, 0.90),
+		P99:   quantile(vals, 0.99),
+		Max:   vals[len(vals)-1],
+	}
+}
+
+// quantile returns the q-th quantile of a sorted slice using the
+// nearest-rank method.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDistributionSnapshot(t *testing.T) {
+	var d Distribution
+	for i := 1; i <= 100; i++ {
+		d.Observe(float64(i))
+	}
+	s := d.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d; want 100", s.Count)
+	}
+	if s.Mean != 50.5 {
+		t.Fatalf("mean = %v; want 50.5", s.Mean)
+	}
+	if s.P50 != 50 || s.P90 != 90 || s.P99 != 99 {
+		t.Fatalf("quantiles p50=%v p90=%v p99=%v; want 50/90/99", s.P50, s.P90, s.P99)
+	}
+	if s.Max != 100 {
+		t.Fatalf("max = %v; want 100", s.Max)
+	}
+}
+
+func TestDistributionEmptyAndNil(t *testing.T) {
+	var empty Distribution
+	if s := empty.Snapshot(); s != (DistSummary{}) {
+		t.Fatalf("empty snapshot = %+v; want zero", s)
+	}
+	var nilDist *Distribution
+	nilDist.Observe(1) // must not panic
+	if s := nilDist.Snapshot(); s != (DistSummary{}) {
+		t.Fatalf("nil snapshot = %+v; want zero", s)
+	}
+}
+
+func TestDistributionSingleValue(t *testing.T) {
+	var d Distribution
+	d.Observe(3.5)
+	s := d.Snapshot()
+	if s.Count != 1 || s.Mean != 3.5 || s.P50 != 3.5 || s.P99 != 3.5 || s.Max != 3.5 {
+		t.Fatalf("single-value snapshot wrong: %+v", s)
+	}
+}
+
+func TestDistributionConcurrentObserve(t *testing.T) {
+	var d Distribution
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				d.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := d.Snapshot(); s.Count != 800 {
+		t.Fatalf("count = %d; want 800", s.Count)
+	}
+}

@@ -1,0 +1,33 @@
+package workloads
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	for _, want := range AllSizes() {
+		got, err := ParseSize(want.String())
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %v, %v; want %v", want.String(), got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "TINY", "huge", " tiny", "large "} {
+		if _, err := ParseSize(bad); err == nil {
+			t.Errorf("ParseSize(%q) accepted an invalid size", bad)
+		}
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := ParseSizes("tiny, large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != Tiny || got[1] != Large {
+		t.Fatalf("ParseSizes(\"tiny, large\") = %v", got)
+	}
+	if _, err := ParseSizes("tiny,huge"); err == nil {
+		t.Fatal("ParseSizes accepted an invalid element")
+	}
+	if _, err := ParseSizes(""); err == nil {
+		t.Fatal("ParseSizes accepted an empty list")
+	}
+}

@@ -14,6 +14,7 @@ package workloads
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cluster"
 )
@@ -45,6 +46,30 @@ func (s Size) String() string {
 
 // AllSizes lists the sizes in order.
 func AllSizes() []Size { return []Size{Tiny, Small, Large} }
+
+// ParseSize maps a flag string ("tiny", "small", "large") to a Size —
+// the one canonical home for the parsing every command-line driver needs.
+func ParseSize(s string) (Size, error) {
+	for _, size := range AllSizes() {
+		if s == size.String() {
+			return size, nil
+		}
+	}
+	return 0, fmt.Errorf("workloads: unknown size %q (valid: tiny, small, large)", s)
+}
+
+// ParseSizes parses a comma-separated size list, preserving order.
+func ParseSizes(csv string) ([]Size, error) {
+	var out []Size
+	for _, part := range strings.Split(csv, ",") {
+		size, err := ParseSize(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, size)
+	}
+	return out, nil
+}
 
 // Category is the paper's workload taxonomy.
 type Category string
