@@ -3,13 +3,16 @@
 // local DRAM, the RDD cache on local DCPM, and a DRAM cache budget of a
 // fraction of each workload's measured cache footprint. For every workload
 // it first verifies that the static policy reproduces the untiered run
-// bit-for-bit, then runs {watermark, bandwidth-aware} x the budget
-// fractions and reports end-to-end runtime against the static baseline.
+// bit-for-bit, then runs the selected dynamic policies (default
+// {watermark, bandwidth-aware, age, forecast}) x the budget fractions and
+// reports end-to-end runtime against the static baseline. Wherever the
+// forecast policy loses to static, the report includes its per-epoch
+// bucketed heatmaps as evidence of what the forecaster saw.
 //
 // Usage:
 //
-//	autotier [-size small] [-seed 1] [-o results/autotier.md]
-//	autotier -smoke        # CI mode: tiny size, 2 policies, determinism check
+//	autotier [-size small] [-seed 1] [-policies watermark,forecast] [-o results/autotier.md]
+//	autotier -smoke        # CI mode: tiny size, determinism checks
 package main
 
 import (
@@ -28,7 +31,40 @@ import (
 
 var fracs = []float64{0.10, 0.25, 0.50}
 
-var dynamicPolicies = []tiering.PolicyKind{tiering.Watermark, tiering.BandwidthAware}
+// defaultPolicies is every dynamic policy, in sweep order.
+func defaultPolicies() []tiering.PolicyKind {
+	var out []tiering.PolicyKind
+	for _, p := range tiering.AllPolicies() {
+		if p != tiering.Static {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parsePolicies resolves the -policies flag: a comma-separated list of
+// dynamic policy kinds (the static baseline always runs and cannot be
+// listed).
+func parsePolicies(s string) ([]tiering.PolicyKind, error) {
+	var out []tiering.PolicyKind
+	for _, part := range strings.Split(s, ",") {
+		p := tiering.PolicyKind(strings.TrimSpace(part))
+		if p == "" {
+			continue
+		}
+		if p == tiering.Static {
+			return nil, fmt.Errorf("static is the implicit baseline, not a sweep policy")
+		}
+		if !p.Valid() {
+			return nil, fmt.Errorf("unknown policy %q (have %v)", p, tiering.AllPolicies())
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-policies selected nothing")
+	}
+	return out, nil
+}
 
 // cell is one measured sweep point.
 type cell struct {
@@ -49,7 +85,8 @@ func main() {
 	size := flag.String("size", "small", "dataset size profile (tiny|small|large)")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	out := flag.String("o", "", "write the markdown report to this file (default stdout)")
-	smoke := flag.Bool("smoke", false, "CI smoke mode: tiny size, static+watermark, same-seed determinism check")
+	policiesFlag := flag.String("policies", "", "comma-separated dynamic policies to sweep (default: all)")
+	smoke := flag.Bool("smoke", false, "CI smoke mode: tiny size, static inert + watermark/forecast determinism checks")
 	flag.Parse()
 
 	if *smoke {
@@ -57,7 +94,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "autotier -smoke:", err)
 			os.Exit(1)
 		}
-		fmt.Println("autotier smoke: OK (static inert, watermark deterministic)")
+		fmt.Println("autotier smoke: OK (static inert, watermark and forecast deterministic)")
 		return
 	}
 
@@ -66,9 +103,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "autotier:", err)
 		os.Exit(1)
 	}
+	policies := defaultPolicies()
+	if *policiesFlag != "" {
+		if policies, err = parsePolicies(*policiesFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "autotier:", err)
+			os.Exit(1)
+		}
+	}
 	var sweeps []sweep
 	for _, w := range workloads.All() {
-		s, err := sweepWorkload(w.Name(), sz, *seed)
+		s, err := sweepWorkload(w.Name(), sz, *seed, policies)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "autotier:", err)
 			os.Exit(1)
@@ -109,8 +153,8 @@ func baseSpec(workload string, size workloads.Size, seed int64) hibench.RunSpec 
 }
 
 // sweepWorkload measures one workload: untiered, static (checked inert),
-// then every dynamic policy x budget fraction.
-func sweepWorkload(workload string, size workloads.Size, seed int64) (sweep, error) {
+// then every selected dynamic policy x budget fraction.
+func sweepWorkload(workload string, size workloads.Size, seed int64, policies []tiering.PolicyKind) (sweep, error) {
 	spec := baseSpec(workload, size, seed)
 	plain, err := hibench.Run(spec)
 	if err != nil {
@@ -141,7 +185,7 @@ func sweepWorkload(workload string, size workloads.Size, seed int64) (sweep, err
 		if budget < 1 {
 			budget = 1
 		}
-		for _, pol := range dynamicPolicies {
+		for _, pol := range policies {
 			cfg := tiering.DefaultConfig(pol)
 			cfg.Slow = memsim.Tier3
 			cfg.FastBudgetBytes = budget
@@ -210,8 +254,47 @@ XPLine write amplification, per-block remap CPU), so a policy can lose.
 				c.res.Tiering.MigrationNS/1e6)
 		}
 		b.WriteString("\n")
+		b.WriteString(forecastEvidence(s))
 	}
 	b.WriteString(takeaways(sweeps, size))
+	return b.String()
+}
+
+// forecastEvidence renders the per-epoch bucketed heatmaps of the worst
+// forecast cell when the forecast policy lost to static on the workload —
+// the evidence trail for why the predicted-heat screens did not prevent
+// the regression. Epochs are sampled evenly when there are many.
+func forecastEvidence(s sweep) string {
+	st := s.cells[0].res
+	var worst *cell
+	for i := range s.cells {
+		c := &s.cells[i]
+		if c.policy != tiering.Forecast || delta(st, c.res) <= 0 {
+			continue
+		}
+		if worst == nil || delta(st, c.res) > delta(st, worst.res) {
+			worst = c
+		}
+	}
+	if worst == nil || len(worst.res.Heatmaps) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	lossMS := (float64(worst.res.Duration) - float64(st.Duration)) / 1e6
+	fmt.Fprintf(&b, "Forecast lost %+.2f%% at frac %.2f — %.2fms against %.2fms spent migrating:\nthe promoted blocks cooled before their cheaper re-reads could pay the\nmigration back. The per-epoch heatmaps (blocks/bytes per class, cold to\nblazing) show the warm class the forecaster chased:\n\n",
+		delta(st, worst.res), worst.frac, lossMS, worst.res.Tiering.MigrationNS/1e6)
+	maps := worst.res.Heatmaps
+	step := 1
+	if len(maps) > 8 {
+		step = (len(maps) + 7) / 8
+	}
+	for i := 0; i < len(maps); i += step {
+		fmt.Fprintf(&b, "- epoch %d @ %s: %s\n", maps[i].Epoch, maps[i].At, maps[i].Map)
+	}
+	if last := len(maps) - 1; last%step != 0 {
+		fmt.Fprintf(&b, "- epoch %d @ %s: %s\n", maps[last].Epoch, maps[last].At, maps[last].Map)
+	}
+	b.WriteString("\n")
 	return b.String()
 }
 
@@ -233,7 +316,7 @@ func kib(b int64) string {
 // makes a dynamic policy worse, and where the bandwidth throttle earns
 // its keep.
 func takeaways(sweeps []sweep, size string) string {
-	var wins, losses, throttled []string
+	var wins, losses, throttled, sidesteps []string
 	for _, s := range sweeps {
 		if s.footprint == 0 {
 			continue
@@ -244,10 +327,21 @@ func takeaways(sweeps []sweep, size string) string {
 		var worstPol tiering.PolicyKind
 		var bestThrottleGain float64
 		var throttleFrac float64
+		var worstWM, worstForecast float64
+		var sawForecast bool
 		for _, c := range s.cells[1:] {
 			d := delta(st, c.res)
 			if c.policy == tiering.Watermark && d < bestWM {
 				bestWM, bestWMFrac = d, c.frac
+			}
+			if c.policy == tiering.Watermark && d > worstWM {
+				worstWM = d
+			}
+			if c.policy == tiering.Forecast {
+				sawForecast = true
+				if d > worstForecast {
+					worstForecast = d
+				}
 			}
 			if d > worst {
 				worst, worstFrac, worstPol = d, c.frac, c.policy
@@ -274,6 +368,10 @@ func takeaways(sweeps []sweep, size string) string {
 			throttled = append(throttled, fmt.Sprintf("%s/%s (%.2f points at frac %.2f)",
 				s.workload, size, bestThrottleGain, throttleFrac))
 		}
+		if sawForecast && worstWM > 1 && (worstForecast <= 0 || worstForecast < worstWM/4) {
+			sidesteps = append(sidesteps, fmt.Sprintf("**%s/%s** (watermark %+.2f%% worst, forecast %+.2f%% worst)",
+				s.workload, size, worstWM, worstForecast))
+		}
 	}
 	var b strings.Builder
 	b.WriteString("## Takeaways\n\n")
@@ -290,12 +388,17 @@ func takeaways(sweeps []sweep, size string) string {
 	if len(throttled) > 0 {
 		fmt.Fprintf(&b, "- **The bandwidth throttle earns its keep** on %s:\n  capping migration traffic per epoch defers (and often avoids) demotions,\n  trimming the watermark policy's worst cases without giving up its wins.\n", strings.Join(throttled, ", "))
 	}
+	if len(sidesteps) > 0 {
+		fmt.Fprintf(&b, "- **Forecast contains write churn** on %s:\n  by leaving the landing tier alone and screening promotions on predicted\n  write heat, the forecaster avoids nearly all of the demote-repromote\n  cycle that hurts the eager landing policies there.\n", strings.Join(sidesteps, ", "))
+	}
 	return b.String()
 }
 
 // runSmoke is the CI mode: on the tiny profile it checks that the static
-// policy is inert and that a constrained watermark run both migrates and
-// is bit-identical across two same-seed executions.
+// policy is inert, that a constrained watermark run both migrates and is
+// bit-identical across two same-seed executions, and that a forecast run
+// (trackers, history, forecaster chain, classifier and mover all engaged)
+// migrates, records per-epoch heatmaps and is equally deterministic.
 func runSmoke(seed int64) error {
 	spec := baseSpec("pagerank", workloads.Tiny, seed)
 	plain, err := hibench.Run(spec)
@@ -336,6 +439,31 @@ func runSmoke(seed int64) error {
 	if first.Duration != second.Duration || first.Metrics != second.Metrics ||
 		!reflect.DeepEqual(first.Engine, second.Engine) {
 		return fmt.Errorf("same-seed watermark runs diverged: %v vs %v", first.Duration, second.Duration)
+	}
+
+	fcCfg := tiering.DefaultConfig(tiering.Forecast)
+	fcCfg.Slow = memsim.Tier3
+	fcCfg.FastBudgetBytes = footprint / 4
+	fcSpec := spec
+	fcSpec.Tiering = &fcCfg
+	fcFirst, err := hibench.Run(fcSpec)
+	if err != nil {
+		return err
+	}
+	fcSecond, err := hibench.Run(fcSpec)
+	if err != nil {
+		return err
+	}
+	if fcFirst.Tiering.MigratedBlocks == 0 {
+		return fmt.Errorf("constrained forecast run migrated nothing")
+	}
+	if len(fcFirst.Heatmaps) == 0 {
+		return fmt.Errorf("forecast run recorded no per-epoch heatmaps")
+	}
+	if fcFirst.Duration != fcSecond.Duration || fcFirst.Metrics != fcSecond.Metrics ||
+		!reflect.DeepEqual(fcFirst.Engine, fcSecond.Engine) ||
+		!reflect.DeepEqual(fcFirst.Heatmaps, fcSecond.Heatmaps) {
+		return fmt.Errorf("same-seed forecast runs diverged: %v vs %v", fcFirst.Duration, fcSecond.Duration)
 	}
 	return nil
 }

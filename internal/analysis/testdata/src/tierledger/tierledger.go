@@ -6,22 +6,23 @@ package tierledger
 import (
 	"repro/internal/blockmgr"
 	"repro/internal/executor"
+	"repro/internal/heat"
 	"repro/internal/memsim"
-	"repro/internal/tiering"
 )
 
-// badCompute mutates the hotness and copy ledgers from task-compute code.
-func badCompute(ctx *executor.TaskContext, led *tiering.Ledger, t *memsim.Tier) {
+// badCompute mutates the hotness tracker and copy ledgers from
+// task-compute code.
+func badCompute(ctx *executor.TaskContext, tr *heat.AccessTracker, t *memsim.Tier) {
 	ctx.CPU(100)
-	led.BlockAccessed(blockmgr.BlockID{RDD: 1, Partition: 2}, 64)
+	tr.BlockAccessed(blockmgr.BlockID{RDD: 1, Partition: 2}, 64)
 	t.MergeCopies(memsim.CopyCounters{LocalChunks: 1})
-	decayHelper(led)
+	tickHelper(tr)
 }
 
-// decayHelper is reachable from badCompute, so its decay call is tainted
+// tickHelper is reachable from badCompute, so its tick call is tainted
 // through the shared call graph even though it has no ctx parameter.
-func decayHelper(led *tiering.Ledger) {
-	led.Decay(0.5)
+func tickHelper(tr *heat.AccessTracker) {
+	tr.Tick()
 }
 
 // badResidency rebinds chunk residency and landing tiers mid-task.
@@ -32,12 +33,25 @@ func badResidency(ctx *executor.TaskContext, cs *blockmgr.ChunkStore, m *blockmg
 	m.SetResidency(blockmgr.BlockID{RDD: 1}, memsim.Tier0)
 }
 
+// badHeatEpoch drives the heat subsystem's epoch state — the idle
+// tracker, the snapshot history and the mover queue — from task-compute
+// code: all of that belongs to the tiering engine's tick.
+func badHeatEpoch(ctx *executor.TaskContext, tr *heat.IdleTracker, h *heat.History, mv *heat.Mover) {
+	ctx.CPU(100)
+	tr.BlockPut(blockmgr.BlockID{RDD: 2, Partition: 0}, 128)
+	tr.Tick()
+	h.Push(tr.Snapshot())
+	mv.Enqueue(heat.MoveRequest{ID: blockmgr.BlockID{RDD: 2}, Bytes: 128, From: memsim.Tier0, To: memsim.Tier2})
+	mv.NextBatch(nil)
+}
+
 // driverWiring is driver code (no TaskContext anywhere in its graph):
-// observer wiring and engine-driven decay are the sanctioned paths, so
+// observer wiring and engine-driven ticks are the sanctioned paths, so
 // nothing here is flagged.
-func driverWiring(m *blockmgr.Manager, led *tiering.Ledger) {
-	m.SetObserver(led)
-	led.Decay(0.5)
+func driverWiring(m *blockmgr.Manager, tr *heat.AccessTracker, h *heat.History) {
+	m.SetObserver(tr)
+	tr.Tick()
+	h.Push(tr.Snapshot())
 }
 
 // badQuota charges the per-tenant quota and the admission capacity

@@ -8,13 +8,13 @@ package workloads
 
 import (
 	"repro/internal/blockmgr"
-	"repro/internal/tiering"
+	"repro/internal/heat"
 )
 
-// buildPhase mutates the hotness ledger from a workload body: flagged
+// buildPhase mutates the hotness tracker from a workload body: flagged
 // even though no TaskContext parameter taints it.
-func buildPhase(led *tiering.Ledger) {
-	led.BlockPut(blockmgr.BlockID{RDD: 1}, 128)
+func buildPhase(tr *heat.IdleTracker) {
+	tr.BlockPut(blockmgr.BlockID{RDD: 1}, 128)
 }
 
 // describe only shapes the computation: clean.

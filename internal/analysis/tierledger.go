@@ -5,23 +5,26 @@ import (
 )
 
 // TierLedger protects the tiering ledgers PR 5 and PR 6 introduced — the
-// hotness EWMA (tiering.Ledger), chunk residency (blockmgr.ChunkStore and
-// the manager's residency table), and the copy ledger
+// hotness trackers (heat.AccessTracker and heat.IdleTracker, which
+// replaced the flat EWMA ledger), chunk residency (blockmgr.ChunkStore
+// and the manager's residency table), and the copy ledger
 // (memsim.CopyCounters) — plus the multi-tenant accounting PR 8 added
-// (blockmgr.TenantQuota and memsim.CapacityLedger), the same way
-// stagedcharge protects the tier counters: they may only be mutated
-// through the sanctioned paths. Hotness updates arrive via the block
-// manager's observer dispatch, residency via the shuffle store's ledger
-// callbacks and the tiering engine's migrations, copy counters via
-// TaskContext.Commit's staged merge, and quota/capacity charges via the
-// block manager's commit-path placement and the admission engine's
-// driver goroutine. A direct mutation from a task-compute call graph (any function
-// reachable from a *executor.TaskContext parameter) or from a workload
-// implementation corrupts the ledgers the migration policies and the
-// copy study read, without tripping any test that only checks virtual
-// time.
+// (blockmgr.TenantQuota and memsim.CapacityLedger) and the heat
+// subsystem's epoch state (the snapshot History and the rate-limited
+// Mover queue), the same way stagedcharge protects the tier counters:
+// they may only be mutated through the sanctioned paths. Hotness updates
+// arrive via the block manager's observer dispatch, tracker ticks,
+// history pushes and mover traffic via the tiering engine's epoch tick,
+// residency via the shuffle store's ledger callbacks and the tiering
+// engine's migrations, copy counters via TaskContext.Commit's staged
+// merge, and quota/capacity charges via the block manager's commit-path
+// placement and the admission engine's driver goroutine. A direct
+// mutation from a task-compute call graph (any function reachable from a
+// *executor.TaskContext parameter) or from a workload implementation
+// corrupts the ledgers the migration policies and the copy study read,
+// without tripping any test that only checks virtual time.
 //
-// The owning packages (tiering, blockmgr, shuffle, memsim) and
+// The owning packages (tiering, heat, blockmgr, shuffle, memsim) and
 // TaskContext's own methods are the sanctioned paths and are exempt.
 var TierLedger = &Analyzer{
 	Name:     "tierledger",
@@ -33,13 +36,27 @@ var TierLedger = &Analyzer{
 
 // ledgerMutators maps package path -> receiver type -> method -> advice.
 var ledgerMutators = map[string]map[string]map[string]string{
-	tieringPath: {
-		"Ledger": {
+	heatPath: {
+		"AccessTracker": {
 			"BlockAccessed": "hotness updates arrive via the block manager's observer dispatch (SetObserver), never directly",
 			"BlockPut":      "hotness updates arrive via the block manager's observer dispatch (SetObserver), never directly",
 			"BlockEvicted":  "hotness updates arrive via the block manager's observer dispatch (SetObserver), never directly",
 			"BlockDropped":  "hotness updates arrive via the block manager's observer dispatch (SetObserver), never directly",
-			"Decay":         "EWMA decay is the tiering engine's epoch tick, not task or workload code",
+			"Tick":          "tracker epochs advance only in the tiering engine's tick, not task or workload code",
+		},
+		"IdleTracker": {
+			"BlockAccessed": "hotness updates arrive via the block manager's observer dispatch (SetObserver), never directly",
+			"BlockPut":      "hotness updates arrive via the block manager's observer dispatch (SetObserver), never directly",
+			"BlockEvicted":  "hotness updates arrive via the block manager's observer dispatch (SetObserver), never directly",
+			"BlockDropped":  "hotness updates arrive via the block manager's observer dispatch (SetObserver), never directly",
+			"Tick":          "tracker epochs advance only in the tiering engine's tick, not task or workload code",
+		},
+		"History": {
+			"Push": "heat history snapshots are recorded once per epoch by the tiering engine's tick",
+		},
+		"Mover": {
+			"Enqueue":   "migration requests flow from the tiering engine's rate-limit step, never from task or workload code",
+			"NextBatch": "the mover's per-epoch budget is drained by the tiering engine's tick, never from task or workload code",
 		},
 	},
 	blockmgrPath: {
@@ -81,10 +98,13 @@ var ledgerMutators = map[string]map[string]map[string]string{
 // mutation path.
 var ledgerOwnerPkgs = map[string]bool{
 	tieringPath:  true,
+	heatPath:     true,
 	blockmgrPath: true,
 	shufflePath:  true,
 	memsimPath:   true,
 }
+
+const heatPath = "repro/internal/heat"
 
 // tlExempt reports whether the node is a sanctioned mutation path: the
 // staging layer (TaskContext methods) or the ledger-owning packages

@@ -1,0 +1,36 @@
+package heat
+
+// TrendForecaster extrapolates each block's heat linearly from its last
+// delta: predicted = cur + (cur − previous), clamped at zero. Blocks
+// with no previous-epoch record (first seen this epoch) keep their
+// current heat — one data point fits no line. Heating blocks are
+// predicted hotter, cooling blocks colder, which makes promotion react
+// one epoch earlier than the raw EWMA would.
+type TrendForecaster struct{}
+
+// Name implements Forecaster.
+func (TrendForecaster) Name() string { return string(Trend) }
+
+// Forecast implements Forecaster.
+func (TrendForecaster) Forecast(history *History, cur []Sample) []Sample {
+	prev := history.At(1)
+	if prev == nil {
+		return cur
+	}
+	out := make([]Sample, len(cur))
+	for i, s := range cur {
+		out[i] = s
+		if p, ok := Lookup(prev, s.ID); ok {
+			out[i].Heat = clampZero(2*s.Heat - p.Heat)
+			out[i].Write = clampZero(2*s.Write - p.Write)
+		}
+	}
+	return out
+}
+
+func clampZero(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

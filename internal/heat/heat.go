@@ -1,0 +1,107 @@
+// Package heat is the intelligence layer behind dynamic tiering: it
+// turns the block manager's lifecycle events into per-block hotness,
+// buckets that hotness into heatmaps, *predicts* the next epoch's
+// heatmap, and converts the result into bounded migration work. It is a
+// port of the cri-resource-manager memtier architecture (pkg/memtier)
+// onto the simulator's deterministic block vocabulary:
+//
+//   - Tracker (tracker_access.go, tracker_idle.go) — pluggable per-block
+//     hotness accounting, fed exclusively from blockmgr.Observer
+//     commit-time callbacks. AccessTracker is the exponentially decayed
+//     access counter (memtier's counters_heatmap); IdleTracker records
+//     epochs since last touch (memtier's idlepage-style aging).
+//   - Classifier (classifier.go) — buckets per-block heat into a
+//     Heatmap histogram with configurable class boundaries, the shape
+//     policies, gauges and reports reason about.
+//   - Forecaster (forecaster.go, forecaster_trend.go,
+//     forecaster_phase.go) — chainable next-epoch heat prediction over a
+//     bounded History of past snapshots, memtier's heatforecaster_chain.
+//   - Mover (mover.go) — a rate-limited migration queue: policies
+//     enqueue desired moves, the queue emits per-epoch batches bounded
+//     by a byte and move budget, deferring the backlog.
+//
+// Everything in this package is driven from the driver goroutine (the
+// block manager replays observer events at commit time in partition
+// order, and the tiering engine ticks at stage boundaries), so no part
+// of it locks and every output is deterministic for any phase-1 worker
+// count. No wall clock, no unseeded randomness, no map-order dependence:
+// snapshots are sorted by block ID and histograms index by class.
+package heat
+
+import (
+	"fmt"
+
+	"repro/internal/blockmgr"
+)
+
+// TrackerKind names a tracker implementation.
+type TrackerKind string
+
+const (
+	// AccessCounts is the exponentially decayed access counter: a put
+	// resets a block's heat to one touch, every counted hit adds one,
+	// and Tick multiplies all heats by the decay factor. The PR 5 EWMA
+	// ledger, refactored behind the Tracker interface.
+	AccessCounts TrackerKind = "access"
+	// IdleAge tracks epochs since a block was last touched, memtier's
+	// idle-page aging: heat is 1/(1+age), so a block touched this epoch
+	// has heat exactly 1 and heat halves after one idle epoch.
+	IdleAge TrackerKind = "idle"
+)
+
+// AllTrackers lists the tracker kinds.
+func AllTrackers() []TrackerKind { return []TrackerKind{AccessCounts, IdleAge} }
+
+// Valid reports whether the kind names a known tracker.
+func (k TrackerKind) Valid() bool { return k == AccessCounts || k == IdleAge }
+
+// Sample is one block's heat at one epoch. Heat is the generic hotness
+// scalar every consumer orders by (higher = hotter); Write isolates the
+// write component so policies can tell a read-hot block (worth promoting
+// to DRAM) from a write-churned one (whose next rewrite lands it back on
+// the landing tier anyway, wasting the promotion).
+type Sample struct {
+	ID    blockmgr.BlockID
+	Heat  float64
+	Write float64
+}
+
+// Tracker is pluggable per-block hotness accounting. It consumes the
+// block manager's lifecycle events (install it with
+// blockmgr.Manager.SetObserver — all callbacks arrive on the driver
+// goroutine in partition order) and advances one epoch per Tick, which
+// the tiering engine calls at stage boundaries.
+type Tracker interface {
+	blockmgr.Observer
+
+	// Kind names the implementation.
+	Kind() TrackerKind
+	// Tick advances one epoch: decay for counter trackers, aging for
+	// idle trackers.
+	Tick()
+	// Heat returns a block's current hotness (0 for unknown blocks).
+	Heat(id blockmgr.BlockID) float64
+	// WriteHeat returns the write component of a block's hotness (0 for
+	// unknown blocks, and 0 always for trackers that do not separate
+	// writes).
+	WriteHeat(id blockmgr.BlockID) float64
+	// Snapshot returns every tracked block's sample, sorted by block ID
+	// — the deterministic per-epoch record History accumulates.
+	Snapshot() []Sample
+	// Len returns the number of tracked blocks.
+	Len() int
+	// Counts returns the lifetime access and put totals.
+	Counts() (accesses, puts int64)
+}
+
+// NewTracker builds a tracker of the given kind. decay parameterizes
+// AccessCounts (per-epoch multiplier in [0,1)); IdleAge ignores it.
+func NewTracker(kind TrackerKind, decay float64) (Tracker, error) {
+	switch kind {
+	case AccessCounts:
+		return NewAccessTracker(decay), nil
+	case IdleAge:
+		return NewIdleTracker(), nil
+	}
+	return nil, fmt.Errorf("heat: unknown tracker kind %q", kind)
+}

@@ -1,0 +1,90 @@
+package heat
+
+import (
+	"sort"
+
+	"repro/internal/blockmgr"
+)
+
+// History is a bounded ring of per-epoch heat snapshots for one tracker,
+// newest last. Forecasters read it two ways: per-block lookups into past
+// epochs (linear trend) and the aggregate heat series (phase-period
+// detection). Push is called exactly once per epoch tick by the tiering
+// engine, on the driver goroutine.
+type History struct {
+	limit  int
+	epochs []epochRecord
+}
+
+type epochRecord struct {
+	samples []Sample // sorted by block ID
+	total   float64  // sum of Heat across samples
+	writes  float64  // sum of Write across samples
+}
+
+// NewHistory returns an empty history keeping the last limit epochs
+// (limit < 2 is raised to 2 — forecasting needs at least one delta).
+func NewHistory(limit int) *History {
+	if limit < 2 {
+		limit = 2
+	}
+	return &History{limit: limit}
+}
+
+// Push records one epoch's snapshot (already block-ID sorted, as
+// Tracker.Snapshot guarantees), evicting the oldest epoch past the
+// limit.
+func (h *History) Push(samples []Sample) {
+	rec := epochRecord{samples: samples}
+	for _, s := range samples {
+		rec.total += s.Heat
+		rec.writes += s.Write
+	}
+	h.epochs = append(h.epochs, rec)
+	if len(h.epochs) > h.limit {
+		copy(h.epochs, h.epochs[1:])
+		h.epochs = h.epochs[:h.limit]
+	}
+}
+
+// Epochs returns how many epochs are recorded (≤ the limit).
+func (h *History) Epochs() int { return len(h.epochs) }
+
+// Limit returns the configured ring capacity.
+func (h *History) Limit() int { return h.limit }
+
+// At returns the snapshot back epochs ago (0 = the newest), or nil when
+// the history is shorter than that.
+func (h *History) At(back int) []Sample {
+	if back < 0 || back >= len(h.epochs) {
+		return nil
+	}
+	return h.epochs[len(h.epochs)-1-back].samples
+}
+
+// Total returns the aggregate heat back epochs ago (0 = the newest), or
+// 0 when the history is shorter than that.
+func (h *History) Total(back int) float64 {
+	if back < 0 || back >= len(h.epochs) {
+		return 0
+	}
+	return h.epochs[len(h.epochs)-1-back].total
+}
+
+// WriteTotal returns the aggregate write heat back epochs ago.
+func (h *History) WriteTotal(back int) float64 {
+	if back < 0 || back >= len(h.epochs) {
+		return 0
+	}
+	return h.epochs[len(h.epochs)-1-back].writes
+}
+
+// Lookup finds a block's sample in an ID-sorted snapshot by binary
+// search.
+func Lookup(samples []Sample, id blockmgr.BlockID) (Sample, bool) {
+	i := sort.Search(len(samples), func(i int) bool { return !samples[i].ID.Less(id) })
+	if i < len(samples) && samples[i].ID == id {
+		return samples[i], true
+	}
+	return Sample{}, false
+}

@@ -1,0 +1,155 @@
+package heat
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+)
+
+func req(p int, bytes int64) MoveRequest {
+	return MoveRequest{ID: bid(p), Bytes: bytes, From: memsim.Tier2, To: memsim.Tier0}
+}
+
+// The acceptance criterion: no batch ever exceeds the configured byte or
+// move budgets, whatever the enqueue pattern, and the backlog drains in
+// later epochs instead of being dropped.
+func TestMoverRateLimit(t *testing.T) {
+	m := NewMover(100, 3)
+	for i := 0; i < 10; i++ {
+		if !m.Enqueue(req(i, 40)) {
+			t.Fatalf("enqueue %d refused", i)
+		}
+	}
+	var emitted int
+	for epoch := 0; epoch < 20 && m.Pending() > 0; epoch++ {
+		batch := m.NextBatch(nil)
+		var bytes int64
+		for _, r := range batch {
+			bytes += r.Bytes
+		}
+		if len(batch) > 3 {
+			t.Fatalf("epoch %d: batch of %d moves exceeds move budget 3", epoch, len(batch))
+		}
+		if bytes > 100 {
+			t.Fatalf("epoch %d: batch of %d bytes exceeds byte budget 100", epoch, bytes)
+		}
+		emitted += len(batch)
+	}
+	if emitted != 10 || m.Pending() != 0 {
+		t.Fatalf("emitted %d, pending %d; want all 10 drained", emitted, m.Pending())
+	}
+	// 40-byte requests against a 100-byte budget: two per epoch, so the
+	// byte limit (not the move limit) binds and the drain takes 5 epochs.
+	st := m.Stats()
+	if st.Emitted != 10 || st.EmittedBytes != 400 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMoverFIFOTruncatesNotSkips(t *testing.T) {
+	m := NewMover(100, 10)
+	m.Enqueue(req(0, 80))
+	m.Enqueue(req(1, 60)) // does not fit after block 0
+	m.Enqueue(req(2, 10)) // would fit, but skipping block 1 is forbidden
+	batch := m.NextBatch(nil)
+	if len(batch) != 1 || batch[0].ID != bid(0) {
+		t.Fatalf("batch = %v, want just block 0", batch)
+	}
+	if m.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", m.Pending())
+	}
+	// Next epoch ships the deferred pair in order.
+	batch = m.NextBatch(nil)
+	if len(batch) != 2 || batch[0].ID != bid(1) || batch[1].ID != bid(2) {
+		t.Fatalf("second batch = %v", batch)
+	}
+}
+
+func TestMoverDedupAndReplace(t *testing.T) {
+	m := NewMover(1000, 10)
+	m.Enqueue(req(0, 10))
+	m.Enqueue(req(1, 10))
+	// Re-enqueue block 0 with a new destination: replaced in place, queue
+	// position and length unchanged.
+	r := req(0, 10)
+	r.To = memsim.Tier1
+	m.Enqueue(r)
+	if m.Pending() != 2 {
+		t.Fatalf("pending = %d after replace, want 2", m.Pending())
+	}
+	batch := m.NextBatch(nil)
+	if len(batch) != 2 || batch[0].ID != bid(0) || batch[0].To != memsim.Tier1 {
+		t.Fatalf("batch = %v, want block 0 first with updated destination", batch)
+	}
+	st := m.Stats()
+	if st.Enqueued != 3 || st.Replaced != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMoverStaleDrop(t *testing.T) {
+	m := NewMover(1000, 10)
+	for i := 0; i < 4; i++ {
+		m.Enqueue(req(i, 10))
+	}
+	// Blocks 0 and 2 went away (evicted, or residency already changed).
+	gone := map[int]bool{0: true, 2: true}
+	batch := m.NextBatch(func(r MoveRequest) bool { return !gone[r.ID.Partition] })
+	if len(batch) != 2 || batch[0].ID != bid(1) || batch[1].ID != bid(3) {
+		t.Fatalf("batch = %v, want blocks 1 and 3", batch)
+	}
+	if st := m.Stats(); st.DroppedStale != 2 {
+		t.Fatalf("stats = %+v, want 2 stale drops", st)
+	}
+	if m.Pending() != 0 {
+		t.Fatalf("pending = %d", m.Pending())
+	}
+}
+
+func TestMoverRefusesOversize(t *testing.T) {
+	m := NewMover(100, 10)
+	if m.Enqueue(req(0, 101)) {
+		t.Fatal("oversize request accepted")
+	}
+	if st := m.Stats(); st.RefusedOversize != 1 || st.Enqueued != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if m.Pending() != 0 {
+		t.Fatal("oversize request queued")
+	}
+}
+
+func TestMoverBadBudgetsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive budgets did not panic")
+		}
+	}()
+	NewMover(0, 1)
+}
+
+// After a stale drop mid-queue, the pending index must still point at
+// the right slots so dedup keeps working.
+func TestMoverIndexConsistentAfterCompaction(t *testing.T) {
+	m := NewMover(15, 10)
+	for i := 0; i < 4; i++ {
+		m.Enqueue(req(i, 10))
+	}
+	// Budget fits one request; block 0 ships, 1..3 compact to the front.
+	if batch := m.NextBatch(nil); len(batch) != 1 {
+		t.Fatalf("batch = %v", batch)
+	}
+	// Replacing block 3 must hit its compacted slot, not append.
+	r := req(3, 5)
+	m.Enqueue(r)
+	if m.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", m.Pending())
+	}
+	drained := 0
+	for m.Pending() > 0 {
+		drained += len(m.NextBatch(nil))
+	}
+	if drained != 3 {
+		t.Fatalf("drained %d, want 3", drained)
+	}
+}

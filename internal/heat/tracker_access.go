@@ -1,0 +1,115 @@
+package heat
+
+import (
+	"sort"
+
+	"repro/internal/blockmgr"
+)
+
+// heatFloor is the heat below which a decayed entry is dropped from the
+// tracker, bounding its size by the set of recently touched blocks.
+const heatFloor = 1e-9
+
+// AccessTracker is the exponentially decayed access counter, the PR 5
+// hotness ledger refactored behind the Tracker interface with one
+// addition: alongside the combined heat it keeps a write-only EWMA fed
+// by puts, so consumers can recognize write-churned blocks. The combined
+// heat's arithmetic is unchanged from the old tiering.Ledger — a put
+// resets to one touch (the store rewrote the data, history from the
+// previous incarnation is stale), a hit adds one, Tick multiplies by the
+// decay factor and drops entries under the floor.
+type AccessTracker struct {
+	decay float64
+	heat  map[blockmgr.BlockID]float64
+	write map[blockmgr.BlockID]float64
+
+	accesses int64
+	puts     int64
+}
+
+// NewAccessTracker returns an empty tracker decaying by the given factor
+// per epoch.
+func NewAccessTracker(decay float64) *AccessTracker {
+	return &AccessTracker{
+		decay: decay,
+		heat:  make(map[blockmgr.BlockID]float64),
+		write: make(map[blockmgr.BlockID]float64),
+	}
+}
+
+var _ Tracker = (*AccessTracker)(nil)
+
+// Kind implements Tracker.
+func (t *AccessTracker) Kind() TrackerKind { return AccessCounts }
+
+// BlockAccessed bumps the block's heat by one touch.
+func (t *AccessTracker) BlockAccessed(id blockmgr.BlockID, bytes int64) {
+	t.heat[id]++
+	t.accesses++
+}
+
+// BlockPut resets the block's combined heat to one touch and adds one to
+// its write EWMA: the combined scalar forgets the previous incarnation
+// (the data was rewritten), while the write component accumulates so a
+// block rewritten every epoch reads as persistently write-hot.
+func (t *AccessTracker) BlockPut(id blockmgr.BlockID, bytes int64) {
+	t.heat[id] = 1
+	t.write[id]++
+	t.puts++
+}
+
+// BlockEvicted forgets an LRU-evicted block.
+func (t *AccessTracker) BlockEvicted(id blockmgr.BlockID, bytes int64) {
+	delete(t.heat, id)
+	delete(t.write, id)
+}
+
+// BlockDropped forgets an explicitly removed block.
+func (t *AccessTracker) BlockDropped(id blockmgr.BlockID, bytes int64) {
+	delete(t.heat, id)
+	delete(t.write, id)
+}
+
+// Tick decays every entry by the configured factor, dropping entries
+// that fall below the floor. Each entry is updated independently, so map
+// iteration order cannot influence the result.
+func (t *AccessTracker) Tick() {
+	for id, h := range t.heat {
+		h *= t.decay
+		if h < heatFloor {
+			delete(t.heat, id)
+		} else {
+			t.heat[id] = h
+		}
+	}
+	for id, w := range t.write {
+		w *= t.decay
+		if w < heatFloor {
+			delete(t.write, id)
+		} else {
+			t.write[id] = w
+		}
+	}
+}
+
+// Heat returns the block's combined hotness (0 for unknown blocks).
+func (t *AccessTracker) Heat(id blockmgr.BlockID) float64 { return t.heat[id] }
+
+// WriteHeat returns the block's write EWMA (0 for unknown blocks).
+func (t *AccessTracker) WriteHeat(id blockmgr.BlockID) float64 { return t.write[id] }
+
+// Snapshot returns every tracked block's sample in block-ID order.
+func (t *AccessTracker) Snapshot() []Sample {
+	out := make([]Sample, 0, len(t.heat))
+	for id, h := range t.heat {
+		out = append(out, Sample{ID: id, Heat: h, Write: t.write[id]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
+	return out
+}
+
+// Len returns the number of blocks with recorded heat.
+func (t *AccessTracker) Len() int { return len(t.heat) }
+
+// Counts returns the lifetime access and put totals.
+func (t *AccessTracker) Counts() (accesses, puts int64) { return t.accesses, t.puts }

@@ -1,0 +1,119 @@
+package heat
+
+import (
+	"sort"
+
+	"repro/internal/blockmgr"
+)
+
+// IdleTracker records, per block, how many epochs have passed since the
+// block was last touched — memtier's idle-page aging. Heat is derived as
+// 1/(1+age): a block touched during the current epoch reads exactly 1,
+// one idle epoch halves it, and the mapping is strictly monotone in age
+// so heat ordering is idle ordering reversed. The write component ages
+// the same way from the last put, so WriteHeat == 1 identifies blocks
+// rewritten this epoch.
+type IdleTracker struct {
+	epoch     int64
+	lastTouch map[blockmgr.BlockID]int64
+	lastPut   map[blockmgr.BlockID]int64
+
+	accesses int64
+	puts     int64
+}
+
+// NewIdleTracker returns an empty idle-age tracker.
+func NewIdleTracker() *IdleTracker {
+	return &IdleTracker{
+		lastTouch: make(map[blockmgr.BlockID]int64),
+		lastPut:   make(map[blockmgr.BlockID]int64),
+	}
+}
+
+var _ Tracker = (*IdleTracker)(nil)
+
+// Kind implements Tracker.
+func (t *IdleTracker) Kind() TrackerKind { return IdleAge }
+
+// BlockAccessed stamps the block as touched this epoch.
+func (t *IdleTracker) BlockAccessed(id blockmgr.BlockID, bytes int64) {
+	t.lastTouch[id] = t.epoch
+	t.accesses++
+}
+
+// BlockPut stamps the block as touched and written this epoch.
+func (t *IdleTracker) BlockPut(id blockmgr.BlockID, bytes int64) {
+	t.lastTouch[id] = t.epoch
+	t.lastPut[id] = t.epoch
+	t.puts++
+}
+
+// BlockEvicted forgets an LRU-evicted block.
+func (t *IdleTracker) BlockEvicted(id blockmgr.BlockID, bytes int64) {
+	delete(t.lastTouch, id)
+	delete(t.lastPut, id)
+}
+
+// BlockDropped forgets an explicitly removed block.
+func (t *IdleTracker) BlockDropped(id blockmgr.BlockID, bytes int64) {
+	delete(t.lastTouch, id)
+	delete(t.lastPut, id)
+}
+
+// Tick advances the epoch counter; every tracked block ages by one.
+func (t *IdleTracker) Tick() { t.epoch++ }
+
+// Age returns the epochs since the block was last touched, or -1 for
+// unknown blocks.
+func (t *IdleTracker) Age(id blockmgr.BlockID) int64 {
+	last, ok := t.lastTouch[id]
+	if !ok {
+		return -1
+	}
+	return t.epoch - last
+}
+
+// Heat returns 1/(1+age) — exactly HeatForAge(t.Age(id)) — and 0 for
+// unknown blocks.
+func (t *IdleTracker) Heat(id blockmgr.BlockID) float64 {
+	last, ok := t.lastTouch[id]
+	if !ok {
+		return 0
+	}
+	return HeatForAge(t.epoch - last)
+}
+
+// WriteHeat returns 1/(1+writeAge), aging from the last put.
+func (t *IdleTracker) WriteHeat(id blockmgr.BlockID) float64 {
+	last, ok := t.lastPut[id]
+	if !ok {
+		return 0
+	}
+	return HeatForAge(t.epoch - last)
+}
+
+// HeatForAge maps an idle age (epochs since last touch) onto the heat
+// scale: 1/(1+age). Policies thresholding on idle age compute the exact
+// same expression, so float comparisons against tracker output are exact.
+func HeatForAge(age int64) float64 {
+	if age < 0 {
+		return 0
+	}
+	return 1 / (1 + float64(age))
+}
+
+// Snapshot returns every tracked block's sample in block-ID order.
+func (t *IdleTracker) Snapshot() []Sample {
+	out := make([]Sample, 0, len(t.lastTouch))
+	for id := range t.lastTouch {
+		out = append(out, Sample{ID: id, Heat: t.Heat(id), Write: t.WriteHeat(id)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
+	return out
+}
+
+// Len returns the number of tracked blocks.
+func (t *IdleTracker) Len() int { return len(t.lastTouch) }
+
+// Counts returns the lifetime access and put totals.
+func (t *IdleTracker) Counts() (accesses, puts int64) { return t.accesses, t.puts }

@@ -1,0 +1,139 @@
+package heat
+
+import (
+	"testing"
+
+	"repro/internal/blockmgr"
+)
+
+func bid(p int) blockmgr.BlockID { return blockmgr.BlockID{RDD: 1, Partition: p} }
+
+// The access tracker must reproduce the PR 5 ledger arithmetic exactly:
+// put resets to 1, hit adds 1, tick multiplies by the decay factor, and
+// sub-floor entries vanish.
+func TestAccessTrackerLedgerCompat(t *testing.T) {
+	tr := NewAccessTracker(0.5)
+	tr.BlockPut(bid(0), 64)
+	tr.BlockAccessed(bid(0), 64)
+	tr.BlockAccessed(bid(0), 64)
+	if got := tr.Heat(bid(0)); got != 3 {
+		t.Fatalf("heat after put+2 hits = %v, want 3", got)
+	}
+	tr.BlockPut(bid(0), 64)
+	if got := tr.Heat(bid(0)); got != 1 {
+		t.Fatalf("overwrite did not reset heat: %v", got)
+	}
+	tr.Tick()
+	if got := tr.Heat(bid(0)); got != 0.5 {
+		t.Fatalf("decayed heat = %v, want 0.5", got)
+	}
+	if a, p := tr.Counts(); a != 2 || p != 2 {
+		t.Fatalf("counts = %d accesses / %d puts, want 2 / 2", a, p)
+	}
+	tr.BlockDropped(bid(0), 64)
+	if tr.Len() != 0 || tr.Heat(bid(0)) != 0 {
+		t.Fatal("drop did not forget the block")
+	}
+
+	// Sub-floor entries are dropped entirely.
+	tr.BlockPut(bid(1), 64)
+	for i := 0; i < 40; i++ {
+		tr.Tick()
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("decayed-out entry survived: len=%d", tr.Len())
+	}
+}
+
+// The write EWMA accumulates across puts (unlike the combined heat,
+// which a put resets) and decays with the same factor.
+func TestAccessTrackerWriteHeat(t *testing.T) {
+	tr := NewAccessTracker(0.5)
+	for epoch := 0; epoch < 6; epoch++ {
+		tr.BlockPut(bid(0), 64) // rewritten every epoch
+		if epoch%2 == 0 {
+			tr.BlockPut(bid(1), 64) // rewritten every other epoch
+		}
+		tr.BlockAccessed(bid(2), 64) // read-only block
+		tr.Tick()
+	}
+	churn, slow, readonly := tr.WriteHeat(bid(0)), tr.WriteHeat(bid(1)), tr.WriteHeat(bid(2))
+	if churn <= slow || slow <= readonly {
+		t.Fatalf("write heat ordering wrong: churn=%v slow=%v readonly=%v", churn, slow, readonly)
+	}
+	if readonly != 0 {
+		t.Fatalf("read-only block has write heat %v", readonly)
+	}
+	// Steady state of w' = (w+1)*0.5 is 1.
+	if churn < 0.9 || churn > 1.1 {
+		t.Fatalf("every-epoch writer settled at %v, want ~1", churn)
+	}
+}
+
+// The idle tracker ages by epochs since last touch, with heat exactly
+// HeatForAge(age).
+func TestIdleTrackerAges(t *testing.T) {
+	tr := NewIdleTracker()
+	tr.BlockPut(bid(0), 64)
+	tr.BlockPut(bid(1), 64)
+	tr.Tick()
+	tr.BlockAccessed(bid(0), 64)
+	tr.Tick()
+
+	if got := tr.Age(bid(0)); got != 1 {
+		t.Fatalf("touched block age = %d, want 1", got)
+	}
+	if got := tr.Age(bid(1)); got != 2 {
+		t.Fatalf("untouched block age = %d, want 2", got)
+	}
+	if got := tr.Heat(bid(0)); got != HeatForAge(1) {
+		t.Fatalf("heat = %v, want %v", got, HeatForAge(1))
+	}
+	if got := tr.Heat(bid(1)); got != HeatForAge(2) {
+		t.Fatalf("heat = %v, want %v", got, HeatForAge(2))
+	}
+	// Writes age independently of touches.
+	if got, want := tr.WriteHeat(bid(0)), HeatForAge(2); got != want {
+		t.Fatalf("write heat = %v, want %v (put 2 epochs ago)", got, want)
+	}
+	if got := tr.Age(bid(9)); got != -1 {
+		t.Fatalf("unknown block age = %d, want -1", got)
+	}
+	tr.BlockEvicted(bid(1), 64)
+	if tr.Len() != 1 {
+		t.Fatalf("eviction did not forget: len=%d", tr.Len())
+	}
+}
+
+// Snapshots are sorted by block ID regardless of touch order.
+func TestSnapshotsSorted(t *testing.T) {
+	for _, tr := range []Tracker{NewAccessTracker(0.5), NewIdleTracker()} {
+		for _, p := range []int{7, 2, 9, 0, 4} {
+			tr.BlockPut(bid(p), 64)
+		}
+		snap := tr.Snapshot()
+		if len(snap) != 5 {
+			t.Fatalf("%s: snapshot has %d entries, want 5", tr.Kind(), len(snap))
+		}
+		for i := 1; i < len(snap); i++ {
+			if !snap[i-1].ID.Less(snap[i].ID) {
+				t.Fatalf("%s: snapshot out of order at %d: %v", tr.Kind(), i, snap)
+			}
+		}
+	}
+}
+
+func TestNewTracker(t *testing.T) {
+	for _, k := range AllTrackers() {
+		tr, err := NewTracker(k, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Kind() != k {
+			t.Fatalf("kind = %s, want %s", tr.Kind(), k)
+		}
+	}
+	if _, err := NewTracker("lru", 0.5); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

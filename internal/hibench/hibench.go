@@ -115,6 +115,10 @@ type RunResult struct {
 	// Tiering summarizes the dynamic tiering engine's activity; zero
 	// when the spec leaves tiering disabled.
 	Tiering TieringStats
+	// Heatmaps is the tiering engine's per-epoch bucketed heat history
+	// (one entry per epoch tick), nil when tiering is disabled. Kept out
+	// of TieringStats so that struct stays comparable.
+	Heatmaps []tiering.EpochHeatmap
 }
 
 // TieringStats is the migration activity of one run.
@@ -199,6 +203,7 @@ func Run(spec RunSpec) (result RunResult, err error) {
 			MigratedBytes:  eng.MigratedBytes(),
 			MigrationNS:    eng.MigrationNS(),
 		}
+		res.Heatmaps = eng.Heatmaps()
 	}
 	return res, nil
 }

@@ -1,6 +1,8 @@
 package hibench
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/executor"
@@ -94,6 +96,72 @@ func TestWatermarkBeatsStaticOnRemoteDCPMOverflow(t *testing.T) {
 	if wm.Duration >= st.Duration {
 		t.Fatalf("watermark (%v) did not beat static (%v) at budget %d",
 			wm.Duration, st.Duration, wmCfg.FastBudgetBytes)
+	}
+}
+
+// The forecast policy — trackers, history, forecaster chain, classifier
+// and mover all engaged — must produce a byte-identical virtual ledger at
+// any phase-1 worker count: every observable, including the heatmap and
+// mover gauges and the recorded per-epoch heatmaps, matches between a
+// serial and a wide parallel run.
+func TestForecastTieringWorkerCountInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a workload twice")
+	}
+	cfg := tiering.DefaultConfig(tiering.Forecast)
+	cfg.FastBudgetBytes = 1 << 10
+	spec := RunSpec{Workload: "pagerank", Size: workloads.Tiny, Tier: memsim.Tier0,
+		Placement: dcpmCachePlacement(), TaskParallelism: 1, Tiering: &cfg}
+	wide := spec
+	wide.TaskParallelism = 8
+
+	serial, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Tiering.MigratedBlocks == 0 {
+		t.Fatal("forecast run migrated nothing; the invariance check is vacuous")
+	}
+	if serial.Duration != parallel.Duration || serial.Metrics != parallel.Metrics ||
+		serial.Tiering != parallel.Tiering {
+		t.Fatalf("worker count changed the ledger:\n  1 worker:  %v %+v\n  8 workers: %v %+v",
+			serial.Duration, serial.Tiering, parallel.Duration, parallel.Tiering)
+	}
+	// The stages.sequential/stages.parallel counters record the physical
+	// execution mode and differ by construction; every other gauge is a
+	// virtual observable and must match.
+	virtual := func(m map[string]int64) map[string]int64 {
+		out := make(map[string]int64, len(m))
+		for k, v := range m {
+			if k != "stages.sequential" && k != "stages.parallel" {
+				out[k] = v
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(virtual(serial.Engine), virtual(parallel.Engine)) {
+		t.Fatalf("worker count changed engine gauges:\n  1 worker:  %v\n  8 workers: %v",
+			serial.Engine, parallel.Engine)
+	}
+	if !reflect.DeepEqual(serial.Heatmaps, parallel.Heatmaps) {
+		t.Fatal("worker count changed the per-epoch heatmap history")
+	}
+	// The heatmap and mover gauges really are part of the compared
+	// snapshot (guards against the gauge family being renamed away).
+	var sawHeatmap, sawMover bool
+	for k := range serial.Engine {
+		sawHeatmap = sawHeatmap || strings.HasPrefix(k, "tiering.heatmap.")
+		sawMover = sawMover || strings.HasPrefix(k, "tiering.mover.")
+	}
+	if !sawHeatmap || !sawMover {
+		t.Fatalf("gauge snapshot missing heatmap/mover families: %v", serial.Engine)
+	}
+	if len(serial.Heatmaps) == 0 || serial.Heatmaps[len(serial.Heatmaps)-1].Epoch == 0 {
+		t.Fatal("no per-epoch heatmaps recorded")
 	}
 }
 

@@ -3,36 +3,63 @@ package tiering
 import (
 	"fmt"
 
+	"repro/internal/blockmgr"
 	"repro/internal/executor"
+	"repro/internal/heat"
 	"repro/internal/memsim"
 	"repro/internal/shuffle"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
 
+// EpochHeatmap records one epoch's bucketed heat histogram across every
+// live executor — the per-epoch evidence trail reports render when a
+// policy's behaviour needs explaining.
+type EpochHeatmap struct {
+	Epoch int
+	At    sim.Time
+	Map   heat.Heatmap
+}
+
+// execState is the per-executor heat machinery: the tracker observing the
+// block manager, the snapshot history the forecasters read, and (for
+// mover policies) the rate-limited migration queue. All three live and
+// die with the executor's block manager — AttachExecutor rebuilds them
+// when a crashed executor is replaced.
+type execState struct {
+	tracker heat.Tracker
+	history *heat.History
+	mover   *heat.Mover
+}
+
 // Engine drives epoch-based block migration for one application. The
 // scheduler calls Tick at stage boundaries (residency is frozen while a
 // stage runs, which is what keeps parallel phase-1 byte-identical); each
-// tick decays the hotness ledgers, asks the policy for a per-executor
-// plan, charges the migration traffic through the staged task-context
-// path, simulates it as a migration stage that advances virtual time,
-// and finally applies the residency changes. A tick that plans no moves
-// costs zero virtual time, so a static-policy run is byte-identical to a
-// run with no engine at all.
+// tick advances the hotness trackers, snapshots them into the forecast
+// history and the epoch heatmap, asks the policy for a per-executor plan
+// (forecasting policies plan on the predicted next epoch), rate-limits
+// the plan through the mover queue, charges the migration traffic
+// through the staged task-context path, simulates it as a migration
+// stage that advances virtual time, and finally applies the residency
+// changes. A tick that plans no moves costs zero virtual time, so a
+// static-policy run is byte-identical to a run with no engine at all.
 type Engine struct {
-	cfg    Config
-	policy Policy
-	pool   *executor.Pool
-	sys    *memsim.System
-	store  *shuffle.Store
-	cost   executor.CostModel
-	seed   int64
-	reg    *telemetry.Registry
+	cfg        Config
+	policy     Policy
+	pool       *executor.Pool
+	sys        *memsim.System
+	store      *shuffle.Store
+	cost       executor.CostModel
+	seed       int64
+	reg        *telemetry.Registry
+	classifier *heat.Classifier
+	chain      *heat.Chain
 
-	ledgers  []*Ledger
+	execs    []execState
 	epoch    int
 	lastTick sim.Time
 	plans    []EpochPlan
+	heatmaps []EpochHeatmap
 
 	migratedBlocks int64
 	migratedBytes  int64
@@ -42,26 +69,36 @@ type Engine struct {
 }
 
 // NewEngine builds an engine over an application's executor pool and
-// attaches it: every live executor gets a fresh hotness ledger installed
-// as its block manager's observer, and dynamic policies rebind the
-// landing tier to the fast tier (static leaves the placement's landing
-// tier untouched).
+// attaches it: every live executor gets a fresh hotness tracker installed
+// as its block manager's observer, and landing-rebinding policies move
+// the landing tier to the fast tier (static and forecast leave the
+// placement's landing tier untouched).
 func NewEngine(cfg Config, pool *executor.Pool, store *shuffle.Store,
 	cost executor.CostModel, seed int64) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{
-		cfg:     cfg,
-		policy:  NewPolicy(cfg),
-		pool:    pool,
-		sys:     pool.System(),
-		store:   store,
-		cost:    cost,
-		seed:    seed,
-		ledgers: make([]*Ledger, pool.Size()),
+	classifier, err := heat.NewClassifier(cfg.EffectiveBoundaries())
+	if err != nil {
+		return nil, err
 	}
-	for id := range e.ledgers {
+	e := &Engine{
+		cfg:        cfg,
+		policy:     NewPolicy(cfg),
+		pool:       pool,
+		sys:        pool.System(),
+		store:      store,
+		cost:       cost,
+		seed:       seed,
+		classifier: classifier,
+		execs:      make([]execState, pool.Size()),
+	}
+	if cfg.Policy == Forecast {
+		if e.chain, err = heat.NewChain(cfg.EffectiveForecasters()); err != nil {
+			return nil, err
+		}
+	}
+	for id := range e.execs {
 		e.AttachExecutor(id)
 	}
 	return e, nil
@@ -78,22 +115,39 @@ func (e *Engine) PolicyName() string { return e.policy.Name() }
 func (e *Engine) SetRegistry(reg *telemetry.Registry) { e.reg = reg }
 
 // AttachExecutor (re)binds the engine to one executor slot: a fresh
-// ledger becomes the block manager's observer and, for dynamic policies,
-// the landing tier is rebound to the fast tier. Called for every slot at
-// construction and again by the scheduler when a crashed executor is
-// replaced with a fresh block manager.
+// tracker becomes the block manager's observer (with a fresh history and
+// mover) and, for landing-rebinding policies, the landing tier is moved
+// to the fast tier. Called for every slot at construction and again by
+// the scheduler when a crashed executor is replaced with a fresh block
+// manager.
 func (e *Engine) AttachExecutor(id int) {
-	led := NewLedger()
-	e.ledgers[id] = led
+	tr, err := heat.NewTracker(e.cfg.EffectiveTracker(), e.cfg.DecayFactor)
+	if err != nil {
+		panic(err) // the kind was validated at construction
+	}
+	st := execState{tracker: tr, history: heat.NewHistory(e.cfg.HistoryEpochs)}
+	if e.cfg.UsesMover() {
+		st.mover = heat.NewMover(e.cfg.MoverBytesPerEpoch, e.cfg.MoverMovesPerEpoch)
+	}
+	e.execs[id] = st
 	blocks := e.pool.Executors[id].Blocks
-	blocks.SetObserver(led)
-	if e.cfg.Dynamic() {
+	blocks.SetObserver(tr)
+	if e.cfg.RebindsLanding() {
 		blocks.SetLandingTier(e.cfg.Fast)
 	}
 }
 
-// Ledger exposes one executor's hotness ledger (for tests and reports).
-func (e *Engine) Ledger(id int) *Ledger { return e.ledgers[id] }
+// Tracker exposes one executor's hotness tracker (for tests and reports).
+func (e *Engine) Tracker(id int) heat.Tracker { return e.execs[id].tracker }
+
+// Mover exposes one executor's mover queue, nil for non-mover policies.
+func (e *Engine) Mover(id int) *heat.Mover { return e.execs[id].mover }
+
+// Classifier exposes the engine's heat classifier.
+func (e *Engine) Classifier() *heat.Classifier { return e.classifier }
+
+// Heatmaps returns the recorded per-epoch heat histograms, one per tick.
+func (e *Engine) Heatmaps() []EpochHeatmap { return e.heatmaps }
 
 // Epochs returns the number of ticks so far.
 func (e *Engine) Epochs() int { return e.epoch }
@@ -125,16 +179,13 @@ func (e *Engine) Tick() {
 	epochSeconds := float64(now-e.lastTick) / 1e9
 	e.lastTick = now
 
-	for _, led := range e.ledgers {
-		led.Decay(e.cfg.DecayFactor)
-	}
-
 	var specs [memsim.NumTiers]memsim.TierSpec
 	for _, id := range memsim.AllTiers() {
 		specs[id] = e.sys.Tier(id).Spec
 	}
 
 	plan := EpochPlan{Epoch: e.epoch, At: now}
+	epochMap := e.classifier.NewHeatmap()
 	var tasks []executor.SimTask
 	var batches [][]Move // aligned with execIDs
 	var execIDs []int
@@ -148,7 +199,18 @@ func (e *Engine) Tick() {
 		if !e.pool.Alive(id) {
 			continue
 		}
-		moves := e.policy.Plan(e.cfg, e.view(id, epochSeconds, specs))
+		st := &e.execs[id]
+		st.tracker.Tick()
+		snap := st.tracker.Snapshot()
+		st.history.Push(snap)
+		var pred []heat.Sample
+		if e.chain != nil {
+			pred = e.chain.Forecast(st.history, snap)
+		}
+		moves := e.policy.Plan(e.cfg, e.view(id, epochSeconds, specs, pred, &epochMap))
+		if st.mover != nil {
+			moves = rateLimit(st.mover, e.pool.Executors[id].Blocks, moves)
+		}
 		moves = e.admitMoves(id, moves, &fastDelta, &slowDelta)
 		if len(moves) == 0 {
 			continue
@@ -195,7 +257,32 @@ func (e *Engine) Tick() {
 		}
 		e.plans = append(e.plans, plan)
 	}
+	e.heatmaps = append(e.heatmaps, EpochHeatmap{Epoch: e.epoch, At: now, Map: epochMap})
 	e.publishGauges()
+}
+
+// rateLimit feeds a policy's plan through one executor's mover queue and
+// returns this epoch's emitted batch: the plan (in priority order) is
+// enqueued — re-requests for already-queued blocks replace in place — and
+// the queue emits up to its byte and move budgets, deferring the backlog.
+// Queued requests whose block is gone or no longer resident on the
+// request's source tier are dropped as stale at batch time.
+func rateLimit(mv *heat.Mover, blocks *blockmgr.Manager, moves []Move) []Move {
+	for _, m := range moves {
+		mv.Enqueue(heat.MoveRequest{ID: m.ID, Bytes: m.Bytes, From: m.From, To: m.To})
+	}
+	batch := mv.NextBatch(func(r heat.MoveRequest) bool {
+		tier, ok := blocks.TierOf(r.ID)
+		return ok && tier == r.From
+	})
+	if len(batch) == 0 {
+		return nil
+	}
+	out := make([]Move, len(batch))
+	for i, r := range batch {
+		out[i] = Move{ID: r.ID, Bytes: r.Bytes, From: r.From, To: r.To}
+	}
+	return out
 }
 
 // admitMoves filters a planned batch through the block manager's quota
@@ -251,14 +338,28 @@ func (e *Engine) admitMoves(id int, moves []Move, fastDelta, slowDelta *int64) [
 // refused (always zero without a quota).
 func (e *Engine) RefusedMoves() int64 { return e.refusedMoves }
 
-// view builds the frozen planning view for one executor.
-func (e *Engine) view(id int, epochSeconds float64, specs [memsim.NumTiers]memsim.TierSpec) View {
+// view builds the frozen planning view for one executor and, as a side
+// effect of the same walk, classifies every resident block into the
+// epoch's heatmap. pred is the forecaster chain's output (nil when the
+// policy does not forecast): blocks found there plan on their predicted
+// heat and write heat, blocks absent from it (or every block, without a
+// chain) plan on the tracker's current values.
+func (e *Engine) view(id int, epochSeconds float64, specs [memsim.NumTiers]memsim.TierSpec,
+	pred []heat.Sample, epochMap *heat.Heatmap) View {
 	blocks := e.pool.Executors[id].Blocks
-	led := e.ledgers[id]
+	tr := e.execs[id].tracker
 	infos := blocks.Blocks()
 	heats := make([]BlockHeat, len(infos))
 	for i, b := range infos {
-		heats[i] = BlockHeat{BlockInfo: b, Heat: led.Heat(b.ID)}
+		h := tr.Heat(b.ID)
+		p, w := h, tr.WriteHeat(b.ID)
+		if pred != nil {
+			if s, ok := heat.Lookup(pred, b.ID); ok {
+				p, w = s.Heat, s.Write
+			}
+		}
+		heats[i] = BlockHeat{BlockInfo: b, Heat: h, Predicted: p, Write: w}
+		epochMap.Add(h, b.Bytes)
 	}
 	return View{
 		Blocks:       heats,
@@ -304,4 +405,33 @@ func (e *Engine) publishGauges() {
 	e.reg.Set("tiering.migrated_blocks", e.migratedBlocks)
 	e.reg.Set("tiering.migrated_bytes", e.migratedBytes)
 	e.reg.Set("tiering.refused_moves", e.refusedMoves)
+	if len(e.heatmaps) > 0 {
+		m := e.heatmaps[len(e.heatmaps)-1].Map
+		for i := range m.Blocks {
+			e.reg.Set(fmt.Sprintf("tiering.heatmap.class%d.blocks", i), m.Blocks[i])
+			e.reg.Set(fmt.Sprintf("tiering.heatmap.class%d.bytes", i), m.Bytes[i])
+		}
+	}
+	if e.cfg.UsesMover() {
+		var st heat.MoverStats
+		var pending int64
+		for id := 0; id < e.pool.Size(); id++ {
+			if mv := e.execs[id].mover; mv != nil {
+				s := mv.Stats()
+				st.Enqueued += s.Enqueued
+				st.Replaced += s.Replaced
+				st.Emitted += s.Emitted
+				st.EmittedBytes += s.EmittedBytes
+				st.DroppedStale += s.DroppedStale
+				st.RefusedOversize += s.RefusedOversize
+				pending += int64(mv.Pending())
+			}
+		}
+		e.reg.Set("tiering.mover.pending", pending)
+		e.reg.Set("tiering.mover.enqueued", st.Enqueued)
+		e.reg.Set("tiering.mover.emitted", st.Emitted)
+		e.reg.Set("tiering.mover.emitted_bytes", st.EmittedBytes)
+		e.reg.Set("tiering.mover.dropped_stale", st.DroppedStale)
+		e.reg.Set("tiering.mover.refused_oversize", st.RefusedOversize)
+	}
 }

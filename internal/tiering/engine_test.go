@@ -57,9 +57,9 @@ func TestStaticEngineIsInert(t *testing.T) {
 	if got := blocks.TierUsed(memsim.Tier2); got != 400 {
 		t.Fatalf("blocks moved off the landing tier: Tier2 holds %d", got)
 	}
-	// The ledger still observes accesses (hotness is policy-independent).
-	if eng.Ledger(0).Len() == 0 {
-		t.Fatal("static engine's ledger saw nothing")
+	// The tracker still observes accesses (hotness is policy-independent).
+	if eng.Tracker(0).Len() == 0 {
+		t.Fatal("static engine's tracker saw nothing")
 	}
 }
 
@@ -152,27 +152,148 @@ func TestWatermarkMigratesAndReplays(t *testing.T) {
 }
 
 // Replacing a crashed executor and re-attaching rebinds the fresh block
-// manager: landing tier restored to fast, a fresh ledger observing.
+// manager: landing tier restored to fast, a fresh tracker observing.
 func TestAttachExecutorAfterReplace(t *testing.T) {
 	cfg := DefaultConfig(Watermark)
 	cfg.FastBudgetBytes = 400
 	_, pool, eng := newHarness(t, cfg)
 	put(pool.Executors[1].Blocks, 0, 100)
-	if eng.Ledger(1).Len() != 1 {
-		t.Fatal("ledger missed the put")
+	if eng.Tracker(1).Len() != 1 {
+		t.Fatal("tracker missed the put")
 	}
 
 	pool.Executors[1].Blocks.RemoveAll()
 	fresh := pool.Replace(1)
 	eng.AttachExecutor(1)
-	if eng.Ledger(1).Len() != 0 {
-		t.Fatal("re-attach kept the stale ledger")
+	if eng.Tracker(1).Len() != 0 {
+		t.Fatal("re-attach kept the stale tracker")
 	}
 	if got := fresh.Blocks.LandingTier(); got != memsim.Tier0 {
 		t.Fatalf("replacement landing tier = %v, want Tier 0", got)
 	}
 	put(fresh.Blocks, 3, 100)
-	if eng.Ledger(1).Heat(blockmgr.BlockID{RDD: 1, Partition: 3}) != 1 {
-		t.Fatal("fresh ledger not observing the replacement manager")
+	if eng.Tracker(1).Heat(blockmgr.BlockID{RDD: 1, Partition: 3}) != 1 {
+		t.Fatal("fresh tracker not observing the replacement manager")
+	}
+}
+
+// The age policy lands blocks on fast and demotes them once they sit
+// idle for MaxIdleEpochs epochs, through the mover's rate limit.
+func TestAgeEngineDemotesIdleBlocks(t *testing.T) {
+	cfg := DefaultConfig(Age)
+	cfg.FastBudgetBytes = 10_000 // far from the watermarks: idle age drives everything
+	cfg.MaxIdleEpochs = 2
+	k, pool, eng := newHarness(t, cfg)
+	blocks := pool.Executors[0].Blocks
+	if got := blocks.LandingTier(); got != memsim.Tier0 {
+		t.Fatalf("age engine landing tier = %v, want Tier 0", got)
+	}
+	hot := put(blocks, 0, 100)
+	idle := put(blocks, 1, 100)
+	for i := 0; i < 3; i++ {
+		blocks.Get(hot) // touched every epoch; the other block only ages
+		eng.Tick()
+	}
+	if tier, _ := blocks.TierOf(idle); tier != memsim.Tier2 {
+		t.Fatalf("idle block still on %v after %d epochs", tier, eng.Epochs())
+	}
+	if tier, _ := blocks.TierOf(hot); tier != memsim.Tier0 {
+		t.Fatalf("hot block demoted to %v", tier)
+	}
+	if k.Now() == 0 {
+		t.Fatal("demotion epoch cost no virtual time")
+	}
+	// Touching the demoted block promotes it back (age 0).
+	blocks.Get(idle)
+	eng.Tick()
+	if tier, _ := blocks.TierOf(idle); tier != memsim.Tier0 {
+		t.Fatalf("reheated block resident on %v, want Tier 0", tier)
+	}
+}
+
+// The forecast policy must not rebind the landing tier, and with no
+// promotable blocks its ticks must stay free of virtual time.
+func TestForecastEngineLandingAndQuietTicks(t *testing.T) {
+	cfg := DefaultConfig(Forecast)
+	cfg.FastBudgetBytes = 1000
+	k, pool, eng := newHarness(t, cfg)
+	blocks := pool.Executors[0].Blocks
+	if got := blocks.LandingTier(); got != memsim.Tier2 {
+		t.Fatalf("forecast engine rebound landing tier to %v", got)
+	}
+	// Blocks written every epoch: write-churned, predicted cold-by-write,
+	// never promoted — ticks stay quiet.
+	for i := 0; i < 4; i++ {
+		put(blocks, 0, 100)
+		put(blocks, 1, 100)
+		eng.Tick()
+	}
+	if k.Now() != 0 {
+		t.Fatalf("write-churn ticks advanced the clock to %v", k.Now())
+	}
+	if eng.MigratedBlocks() != 0 {
+		t.Fatalf("write-churned blocks migrated: %d", eng.MigratedBlocks())
+	}
+	if len(eng.Heatmaps()) != 4 {
+		t.Fatalf("recorded %d heatmaps, want 4", len(eng.Heatmaps()))
+	}
+}
+
+// A read-hot block under the forecast policy is promoted once its
+// predicted heat classifies at PromoteClass.
+func TestForecastEnginePromotesReadHot(t *testing.T) {
+	cfg := DefaultConfig(Forecast)
+	cfg.FastBudgetBytes = 1000
+	_, pool, eng := newHarness(t, cfg)
+	blocks := pool.Executors[0].Blocks
+	hot := put(blocks, 0, 100)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			blocks.Get(hot)
+		}
+		eng.Tick()
+		if tier, _ := blocks.TierOf(hot); tier == memsim.Tier0 {
+			return
+		}
+	}
+	t.Fatalf("read-hot block never promoted; heat=%v", eng.Tracker(0).Heat(hot))
+}
+
+// The engine-level rate limit: with a tiny mover budget, no recorded
+// epoch plan exceeds it, and the backlog drains across epochs.
+func TestEngineMoverRateLimit(t *testing.T) {
+	cfg := DefaultConfig(Age)
+	cfg.FastBudgetBytes = 10_000
+	cfg.MaxIdleEpochs = 1
+	cfg.MoverBytesPerEpoch = 250 // two 100 B demotions per epoch
+	cfg.MoverMovesPerEpoch = 64
+	_, pool, eng := newHarness(t, cfg)
+	blocks := pool.Executors[0].Blocks
+	for i := 0; i < 6; i++ {
+		put(blocks, i, 100)
+	}
+	for i := 0; i < 6 && eng.MigratedBlocks() < 6; i++ {
+		eng.Tick()
+	}
+	if eng.MigratedBlocks() != 6 {
+		t.Fatalf("backlog never drained: %d/6 migrated", eng.MigratedBlocks())
+	}
+	if len(eng.Plans()) < 3 {
+		t.Fatalf("6 blocks at 2/epoch should span >= 3 plans, got %d", len(eng.Plans()))
+	}
+	for _, p := range eng.Plans() {
+		var bytes int64
+		for _, m := range p.Moves {
+			bytes += m.Bytes
+		}
+		if bytes > cfg.MoverBytesPerEpoch {
+			t.Fatalf("epoch %d moved %d bytes, budget %d", p.Epoch, bytes, cfg.MoverBytesPerEpoch)
+		}
+		if len(p.Moves) > cfg.MoverMovesPerEpoch {
+			t.Fatalf("epoch %d planned %d moves, budget %d", p.Epoch, len(p.Moves), cfg.MoverMovesPerEpoch)
+		}
+	}
+	if eng.Mover(0).Pending() != 0 {
+		t.Fatalf("mover still holds %d requests", eng.Mover(0).Pending())
 	}
 }

@@ -8,10 +8,17 @@ import (
 	"repro/internal/memsim"
 )
 
-// BlockHeat pairs one resident block with its ledger heat.
+// BlockHeat pairs one resident block with its tracker heat. Heat is the
+// tracker's current hotness (decayed access count, or 1/(1+idleAge) for
+// the idle tracker). Predicted is the forecaster chain's next-epoch
+// prediction — equal to Heat when the policy does not forecast. Write is
+// the write component the forecast policy screens on (the predicted
+// write heat when forecasting, the tracker's current one otherwise).
 type BlockHeat struct {
 	blockmgr.BlockInfo
-	Heat float64
+	Heat      float64
+	Predicted float64
+	Write     float64
 }
 
 // Move is one planned block migration on one executor.
@@ -51,6 +58,10 @@ func NewPolicy(cfg Config) Policy {
 		return watermarkPolicy{}
 	case BandwidthAware:
 		return bandwidthPolicy{}
+	case Age:
+		return agePolicy{}
+	case Forecast:
+		return forecastPolicy{}
 	}
 	panic(fmt.Sprintf("tiering: unknown policy %q", cfg.Policy))
 }

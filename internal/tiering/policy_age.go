@@ -1,0 +1,62 @@
+package tiering
+
+import (
+	"sort"
+
+	"repro/internal/heat"
+)
+
+// agePolicy is memtier's idle-page discipline on the simulator's epoch
+// clock. It expects the idle-age tracker (heat == 1/(1+idleAge)) and
+// plans:
+//
+//   - Demotions: every fast block idle for at least MaxIdleEpochs,
+//     oldest first; and, when fast occupancy is above the high
+//     watermark, further coldest-first demotions down to the low
+//     watermark (the capacity backstop the watermark policy provides).
+//   - Promotions: slow blocks touched during the epoch that just ended,
+//     in block-id order, as long as they fit under the high watermark.
+//     The tracker ticks before planning, so such blocks read age 1 at
+//     plan time (age 0 is unobservable then).
+//
+// Plans are deliberately unthrottled — the engine feeds them through the
+// per-executor mover, whose per-epoch budgets spread the work out.
+type agePolicy struct{}
+
+func (agePolicy) Name() string { return string(Age) }
+
+func (agePolicy) Plan(cfg Config, v View) []Move {
+	high := int64(float64(cfg.FastBudgetBytes) * cfg.HighWaterFrac)
+	low := int64(float64(cfg.FastBudgetBytes) * cfg.LowWaterFrac)
+	// The idle cutoff on the heat scale: HeatForAge is strictly
+	// decreasing, so "idle >= MaxIdleEpochs" is exactly "heat <= cutoff".
+	idleCutoff := heat.HeatForAge(int64(cfg.MaxIdleEpochs))
+	fastUsed := v.FastUsed
+	var moves []Move
+
+	fast := onTier(v.Blocks, cfg.Fast)
+	sort.SliceStable(fast, func(i, j int) bool { return fast[i].Heat < fast[j].Heat })
+	draining := fastUsed > high
+	for _, b := range fast {
+		// Coldest-first means the idle blocks form a prefix; past it,
+		// only the over-budget drain keeps demoting.
+		if b.Heat > idleCutoff && !(draining && fastUsed > low) {
+			break
+		}
+		moves = append(moves, Move{ID: b.ID, Bytes: b.Bytes, From: cfg.Fast, To: cfg.Slow})
+		fastUsed -= b.Bytes
+	}
+
+	freshHeat := heat.HeatForAge(1)
+	for _, b := range onTier(v.Blocks, cfg.Slow) {
+		if b.Heat < freshHeat {
+			continue // not touched this epoch
+		}
+		if fastUsed+b.Bytes > high {
+			continue // no headroom; a smaller fresh block may still fit
+		}
+		moves = append(moves, Move{ID: b.ID, Bytes: b.Bytes, From: cfg.Slow, To: cfg.Fast})
+		fastUsed += b.Bytes
+	}
+	return moves
+}

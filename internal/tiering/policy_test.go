@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/blockmgr"
+	"repro/internal/heat"
 	"repro/internal/memsim"
 )
 
@@ -12,7 +13,7 @@ import (
 func testView(cfg Config, heats []float64, tiers []memsim.TierID) View {
 	v := View{EpochSeconds: 1, Specs: memsim.DefaultSpecs()}
 	for i := range heats {
-		b := BlockHeat{Heat: heats[i]}
+		b := BlockHeat{Heat: heats[i], Predicted: heats[i]}
 		b.ID = blockmgr.BlockID{RDD: 1, Partition: i}
 		b.Bytes = 100
 		b.Tier = tiers[i]
@@ -116,6 +117,83 @@ func TestBandwidthAwareTruncatesPlan(t *testing.T) {
 	}
 }
 
+func TestAgeDemotesIdleAndPromotesFresh(t *testing.T) {
+	// Budget 10000: watermarks are far away, so idle age alone decides.
+	// MaxIdleEpochs 2 -> cutoff HeatForAge(2) = 1/3.
+	cfg := dynConfig(Age, 10_000)
+	heats := []float64{
+		heat.HeatForAge(3), // fast, idle 3 epochs -> demote (oldest)
+		heat.HeatForAge(2), // fast, idle 2 epochs -> demote
+		heat.HeatForAge(1), // fast, fresh -> stays
+		heat.HeatForAge(1), // slow, touched last epoch -> promote
+		heat.HeatForAge(4), // slow, long idle -> stays
+	}
+	tiers := []memsim.TierID{cfg.Fast, cfg.Fast, cfg.Fast, cfg.Slow, cfg.Slow}
+	moves := NewPolicy(cfg).Plan(cfg, testView(cfg, heats, tiers))
+	if len(moves) != 3 {
+		t.Fatalf("planned %d moves %v, want 3", len(moves), moves)
+	}
+	// Demotions oldest-first, then the promotion.
+	if moves[0].ID.Partition != 0 || moves[0].To != cfg.Slow {
+		t.Fatalf("move 0 = %+v, want partition 0 demoted", moves[0])
+	}
+	if moves[1].ID.Partition != 1 || moves[1].To != cfg.Slow {
+		t.Fatalf("move 1 = %+v, want partition 1 demoted", moves[1])
+	}
+	if moves[2].ID.Partition != 3 || moves[2].To != cfg.Fast {
+		t.Fatalf("move 2 = %+v, want partition 3 promoted", moves[2])
+	}
+}
+
+func TestAgeDrainsOverBudgetFastTier(t *testing.T) {
+	// Budget 400 (high 360, low 280), six fresh 100 B fast blocks: none
+	// are idle, but occupancy is over the high mark, so the coldest are
+	// drained down to the low mark.
+	cfg := dynConfig(Age, 400)
+	fresh := heat.HeatForAge(1)
+	heats := []float64{fresh, fresh, fresh, fresh, fresh, fresh}
+	tiers := make([]memsim.TierID, 6)
+	for i := range tiers {
+		tiers[i] = cfg.Fast
+	}
+	moves := NewPolicy(cfg).Plan(cfg, testView(cfg, heats, tiers))
+	if len(moves) != 4 {
+		t.Fatalf("planned %d demotions %v, want 4 (600 -> 200 B)", len(moves), moves)
+	}
+}
+
+func TestForecastPromotesPredictedHotSkipsWriters(t *testing.T) {
+	// PromoteClass 2 with default boundaries {0.5, 2, 8}: predicted heat
+	// must reach 2. WriteHeatMax 0.5 screens out the write-churned block.
+	cfg := dynConfig(Forecast, 1000)
+	cfg.PromoteClass = 2
+	v := testView(cfg,
+		[]float64{1, 3, 3, 1.9, 0.2},
+		[]memsim.TierID{cfg.Fast, cfg.Slow, cfg.Slow, cfg.Slow, cfg.Slow})
+	v.Blocks[2].Write = 0.9 // predicted write-hot: never promoted
+	moves := NewPolicy(cfg).Plan(cfg, v)
+	if len(moves) != 1 {
+		t.Fatalf("planned %v, want exactly the read-hot promotion", moves)
+	}
+	if m := moves[0]; m.ID.Partition != 1 || m.From != cfg.Slow || m.To != cfg.Fast {
+		t.Fatalf("move = %+v, want partition 1 slow->fast", m)
+	}
+}
+
+func TestForecastDemotesPredictedCold(t *testing.T) {
+	// A fast block predicted cold (class 0) is evacuated even though the
+	// occupancy is inside the watermark band.
+	cfg := dynConfig(Forecast, 1000)
+	v := testView(cfg,
+		[]float64{3, 3},
+		[]memsim.TierID{cfg.Fast, cfg.Fast})
+	v.Blocks[0].Predicted = 0.1
+	moves := NewPolicy(cfg).Plan(cfg, v)
+	if len(moves) != 1 || moves[0].ID.Partition != 0 || moves[0].To != cfg.Slow {
+		t.Fatalf("planned %v, want partition 0 demoted", moves)
+	}
+}
+
 func TestConfigValidate(t *testing.T) {
 	good := dynConfig(Watermark, 1)
 	if err := good.Validate(); err != nil {
@@ -128,6 +206,19 @@ func TestConfigValidate(t *testing.T) {
 		func() Config { c := dynConfig(Watermark, 1); c.DecayFactor = 1; return c }(),
 		func() Config { c := dynConfig(Watermark, 1); c.LowWaterFrac = 0.95; return c }(),
 		func() Config { c := dynConfig(BandwidthAware, 1); c.MigrationBWFrac = 0; return c }(),
+		func() Config { c := dynConfig(Watermark, 1); c.Tracker = "lru"; return c }(),
+		func() Config { c := dynConfig(Watermark, 1); c.Boundaries = []float64{2, 1}; return c }(),
+		func() Config { c := dynConfig(Age, 1); c.MaxIdleEpochs = 0; return c }(),
+		func() Config { c := dynConfig(Age, 1); c.MoverBytesPerEpoch = 0; return c }(),
+		func() Config { c := dynConfig(Forecast, 1); c.MoverMovesPerEpoch = 0; return c }(),
+		func() Config { c := dynConfig(Forecast, 1); c.HistoryEpochs = 1; return c }(),
+		func() Config { c := dynConfig(Forecast, 1); c.PromoteClass = 4; return c }(),
+		func() Config { c := dynConfig(Forecast, 1); c.WriteHeatMax = -1; return c }(),
+		func() Config {
+			c := dynConfig(Forecast, 1)
+			c.Forecasters = []heat.ForecasterKind{"oracle"}
+			return c
+		}(),
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {

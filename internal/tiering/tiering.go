@@ -8,18 +8,20 @@
 //
 // The subsystem has four parts:
 //
-//   - A hotness Ledger per executor, fed by the block manager's Observer
-//     hook: every counted cache hit and store bumps a block's heat, and
-//     heat decays geometrically at every epoch tick (the
-//     cri-resource-manager memtier heat model).
+//   - A heat.Tracker per executor, fed by the block manager's Observer
+//     hook: pluggable hotness accounting (decayed access counts or
+//     idle-age epochs, the cri-resource-manager memtier trackers),
+//     snapshotted into a bounded heat.History and bucketed into
+//     heat.Heatmap histograms at every epoch tick.
 //   - A Policy that, at each epoch, plans migrations from a frozen view
-//     of one executor's blocks and their heat. Policies are pure
-//     functions of the view, so plans are deterministic.
-//   - An Engine that owns the ledgers, asks the policy for plans at
-//     epoch ticks (the scheduler calls Tick between stages), charges the
-//     real data movement to the memory system through the staged
-//     task-context path, and applies residency changes to the block
-//     managers.
+//     of one executor's blocks, their heat and — for the forecast
+//     policy — their chained heat.Forecaster prediction. Policies are
+//     pure functions of the view, so plans are deterministic.
+//   - An Engine that owns the trackers, asks the policy for plans at
+//     epoch ticks (the scheduler calls Tick between stages), rate-limits
+//     them through a per-executor heat.Mover queue, charges the real
+//     data movement to the memory system through the staged task-context
+//     path, and applies residency changes to the block managers.
 //   - A recorded EpochPlan history that ReplayPlan can re-price
 //     independently, pinning the engine's accounting in tests.
 //
@@ -34,6 +36,7 @@ package tiering
 import (
 	"fmt"
 
+	"repro/internal/heat"
 	"repro/internal/memsim"
 )
 
@@ -56,15 +59,29 @@ const (
 	// of that tier's peak bandwidth times the epoch's virtual duration,
 	// so migration traffic cannot crowd out the application's.
 	BandwidthAware PolicyKind = "bandwidth-aware"
+	// Age lands new blocks on the fast tier and demotes by idle age
+	// (memtier's idle-page discipline): a fast block untouched for
+	// MaxIdleEpochs epochs is demoted, blocks touched in the current
+	// epoch are promoted back, and the whole plan is rate-limited by the
+	// mover's per-epoch budgets.
+	Age PolicyKind = "age"
+	// Forecast leaves the landing tier alone (new blocks land wherever
+	// the placement puts them) and promotes only blocks whose *predicted*
+	// next-epoch heat — the forecaster chain's output — classifies hot,
+	// skipping write-churned blocks whose next rewrite would land them
+	// back on the landing tier anyway. Rate-limited by the mover.
+	Forecast PolicyKind = "forecast"
 )
 
 // AllPolicies lists the policy kinds in sweep order.
-func AllPolicies() []PolicyKind { return []PolicyKind{Static, Watermark, BandwidthAware} }
+func AllPolicies() []PolicyKind {
+	return []PolicyKind{Static, Watermark, BandwidthAware, Age, Forecast}
+}
 
 // Valid reports whether the kind is one of the defined policies.
 func (p PolicyKind) Valid() bool {
 	switch p {
-	case Static, Watermark, BandwidthAware:
+	case Static, Watermark, BandwidthAware, Age, Forecast:
 		return true
 	}
 	return false
@@ -104,6 +121,52 @@ type Config struct {
 	// migrated toward a destination tier per epoch at this fraction of
 	// the tier's peak bandwidth times the epoch's virtual duration.
 	MigrationBWFrac float64
+
+	// Tracker selects the hotness tracker feeding the policy; empty picks
+	// the policy's natural tracker (idle-age for the age policy, decayed
+	// access counts for everything else).
+	Tracker heat.TrackerKind
+
+	// Boundaries are the heat-class boundaries for the classifier
+	// (strictly increasing, positive); nil uses heat.DefaultBoundaries().
+	Boundaries []float64
+
+	// Forecasters is the forecaster chain for the forecast policy, in
+	// composition order; nil uses the trend+phase default chain.
+	Forecasters []heat.ForecasterKind
+
+	// HistoryEpochs bounds the per-executor ring of heat snapshots the
+	// forecasters read. Must be at least 2 for the forecast policy.
+	HistoryEpochs int
+
+	// MaxIdleEpochs is the idle age at which the age policy demotes a
+	// fast block: untouched for this many epochs means cold. Must be at
+	// least 1 for the age policy.
+	MaxIdleEpochs int
+
+	// MoverBytesPerEpoch and MoverMovesPerEpoch rate-limit the age and
+	// forecast policies: each executor's mover queue emits at most this
+	// many bytes and moves per epoch, deferring the backlog to later
+	// epochs. Both must be positive for those policies.
+	MoverBytesPerEpoch int64
+	MoverMovesPerEpoch int
+
+	// PromoteClass is the minimum *predicted* heat class (index into the
+	// classifier's classes, 0 = coldest) a slow block needs for the
+	// forecast policy to promote it. The default is class 1 (warm):
+	// under the default 0.5 decay a block's steady-state heat equals its
+	// per-epoch read rate approached from below, so demanding the hot
+	// class would exclude even steady once-per-epoch readers.
+	PromoteClass int
+
+	// WriteHeatMax is the forecast policy's write-churn cutoff: only
+	// blocks whose predicted write heat stays strictly below it are ever
+	// promoted — a rewrite would land them back on the landing tier,
+	// wasting the promotion (the lda failure mode of the watermark
+	// policy). A single put one epoch ago leaves write heat exactly
+	// DecayFactor, so the default of 0.5 (= the default decay) reads as
+	// "not written within the last epoch".
+	WriteHeatMax float64
 }
 
 // DefaultConfig returns the calibrated defaults for a policy: DRAM
@@ -113,20 +176,65 @@ type Config struct {
 // caller for dynamic policies.
 func DefaultConfig(policy PolicyKind) Config {
 	return Config{
-		Policy:          policy,
-		Fast:            memsim.Tier0,
-		Slow:            memsim.Tier2,
-		DecayFactor:     0.5,
-		HighWaterFrac:   0.9,
-		LowWaterFrac:    0.7,
-		MinHeat:         0.25,
-		MigrationBWFrac: 0.05,
+		Policy:             policy,
+		Fast:               memsim.Tier0,
+		Slow:               memsim.Tier2,
+		DecayFactor:        0.5,
+		HighWaterFrac:      0.9,
+		LowWaterFrac:       0.7,
+		MinHeat:            0.25,
+		MigrationBWFrac:    0.05,
+		HistoryEpochs:      12,
+		MaxIdleEpochs:      2,
+		MoverBytesPerEpoch: 256 << 10,
+		MoverMovesPerEpoch: 64,
+		PromoteClass:       1,
+		WriteHeatMax:       0.5,
 	}
 }
 
 // Dynamic reports whether the policy ever migrates (everything except
 // Static).
 func (c Config) Dynamic() bool { return c.Policy != Static }
+
+// UsesMover reports whether the policy's plans flow through the
+// rate-limited mover queue.
+func (c Config) UsesMover() bool { return c.Policy == Age || c.Policy == Forecast }
+
+// RebindsLanding reports whether the engine rebinds the block managers'
+// landing tier to the fast tier. The forecast policy deliberately does
+// not: new blocks land wherever the placement puts them, and only
+// predicted-hot, non-write-churned blocks earn a promotion.
+func (c Config) RebindsLanding() bool { return c.Dynamic() && c.Policy != Forecast }
+
+// EffectiveTracker resolves the tracker kind: an explicit choice wins,
+// otherwise the age policy tracks idle age and everything else tracks
+// decayed access counts.
+func (c Config) EffectiveTracker() heat.TrackerKind {
+	if c.Tracker != "" {
+		return c.Tracker
+	}
+	if c.Policy == Age {
+		return heat.IdleAge
+	}
+	return heat.AccessCounts
+}
+
+// EffectiveBoundaries resolves the classifier boundaries.
+func (c Config) EffectiveBoundaries() []float64 {
+	if c.Boundaries != nil {
+		return c.Boundaries
+	}
+	return heat.DefaultBoundaries()
+}
+
+// EffectiveForecasters resolves the forecaster chain.
+func (c Config) EffectiveForecasters() []heat.ForecasterKind {
+	if c.Forecasters != nil {
+		return c.Forecasters
+	}
+	return heat.AllForecasters()
+}
 
 // Validate rejects inconsistent configurations.
 func (c Config) Validate() error {
@@ -152,9 +260,40 @@ func (c Config) Validate() error {
 			c.LowWaterFrac, c.HighWaterFrac)
 	case c.MinHeat < 0:
 		return fmt.Errorf("tiering: negative MinHeat %v", c.MinHeat)
+	case c.Tracker != "" && !c.Tracker.Valid():
+		return fmt.Errorf("tiering: unknown tracker kind %q", c.Tracker)
 	}
 	if c.Policy == BandwidthAware && (c.MigrationBWFrac <= 0 || c.MigrationBWFrac > 1) {
 		return fmt.Errorf("tiering: migration bandwidth fraction %v out of (0,1]", c.MigrationBWFrac)
+	}
+	cls, err := heat.NewClassifier(c.EffectiveBoundaries())
+	if err != nil {
+		return fmt.Errorf("tiering: %w", err)
+	}
+	if c.UsesMover() {
+		if c.MoverBytesPerEpoch <= 0 || c.MoverMovesPerEpoch <= 0 {
+			return fmt.Errorf("tiering: policy %q needs positive mover budgets (bytes=%d moves=%d)",
+				c.Policy, c.MoverBytesPerEpoch, c.MoverMovesPerEpoch)
+		}
+	}
+	if c.Policy == Age && c.MaxIdleEpochs < 1 {
+		return fmt.Errorf("tiering: age policy needs MaxIdleEpochs >= 1, got %d", c.MaxIdleEpochs)
+	}
+	if c.Policy == Forecast {
+		if c.HistoryEpochs < 2 {
+			return fmt.Errorf("tiering: forecast policy needs HistoryEpochs >= 2, got %d", c.HistoryEpochs)
+		}
+		if c.PromoteClass < 0 || c.PromoteClass >= cls.Classes() {
+			return fmt.Errorf("tiering: PromoteClass %d out of [0,%d)", c.PromoteClass, cls.Classes())
+		}
+		if c.WriteHeatMax <= 0 {
+			return fmt.Errorf("tiering: forecast policy needs WriteHeatMax > 0 (exclusive bound), got %v", c.WriteHeatMax)
+		}
+		for _, f := range c.EffectiveForecasters() {
+			if !f.Valid() {
+				return fmt.Errorf("tiering: unknown forecaster kind %q", f)
+			}
+		}
 	}
 	return nil
 }
